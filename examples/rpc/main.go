@@ -1,0 +1,156 @@
+// RPC: the workload Madeleine was designed for (§1) — an RPC-based
+// multithreaded runtime in the style of PM2. A server registers functions;
+// clients invoke them remotely. The request header (function id, argument
+// size) travels receive_EXPRESS so the runtime can dispatch and allocate;
+// the argument payload travels receive_CHEAPER. Two channels are used to
+// "logically split communication from two different modules" (§2.1):
+// requests on a Myrinet/BIP channel, replies on an SCI/SISCI channel.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"madeleine2"
+)
+
+// Request header: function id + argument length.
+func packHeader(fn uint32, n int) []byte {
+	var h [8]byte
+	binary.LittleEndian.PutUint32(h[0:], fn)
+	binary.LittleEndian.PutUint32(h[4:], uint32(n))
+	return h[:]
+}
+
+const (
+	fnSum = iota + 1
+	fnReverse
+)
+
+func main() {
+	// Three nodes with both SANs: node 0 is the server.
+	w := madeleine2.NewWorld(3)
+	for i := 0; i < 3; i++ {
+		w.Node(i).AddAdapter(madeleine2.MyrinetNetwork)
+		w.Node(i).AddAdapter(madeleine2.SCINetwork)
+	}
+	sess := madeleine2.NewSession(w)
+	req, err := sess.NewChannel(madeleine2.ChannelSpec{Name: "requests", Driver: "bip"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := sess.NewChannel(madeleine2.ChannelSpec{Name: "replies", Driver: "sisci"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The server thread: dispatch on the express header, then extract the
+	// arguments with the mode each function prefers.
+	go func() {
+		a := madeleine2.NewActor("server")
+		for handled := 0; handled < 4; handled++ {
+			conn, err := req[0].BeginUnpacking(a)
+			if err != nil {
+				log.Fatal(err)
+			}
+			hdr := make([]byte, 8)
+			if err := conn.Unpack(hdr, madeleine2.SendCheaper, madeleine2.ReceiveExpress); err != nil {
+				log.Fatal(err)
+			}
+			fn := binary.LittleEndian.Uint32(hdr[0:])
+			n := int(binary.LittleEndian.Uint32(hdr[4:]))
+			args := make([]byte, n)
+			if err := conn.Unpack(args, madeleine2.SendCheaper, madeleine2.ReceiveCheaper); err != nil {
+				log.Fatal(err)
+			}
+			if err := conn.EndUnpacking(); err != nil {
+				log.Fatal(err)
+			}
+			client := conn.Remote()
+
+			var result []byte
+			switch fn {
+			case fnSum:
+				var s uint64
+				for _, b := range args {
+					s += uint64(b)
+				}
+				result = binary.LittleEndian.AppendUint64(nil, s)
+			case fnReverse:
+				result = make([]byte, n)
+				for i, b := range args {
+					result[n-1-i] = b
+				}
+			default:
+				log.Fatalf("server: unknown function %d", fn)
+			}
+
+			// Reply on the reply channel.
+			rc, err := rep[0].BeginPacking(a, client)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := rc.Pack(packHeader(fn, len(result)), madeleine2.SendSafer, madeleine2.ReceiveExpress); err != nil {
+				log.Fatal(err)
+			}
+			if err := rc.Pack(result, madeleine2.SendCheaper, madeleine2.ReceiveCheaper); err != nil {
+				log.Fatal(err)
+			}
+			if err := rc.EndPacking(); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}()
+
+	// Two client threads issue RPCs concurrently.
+	type outcome struct {
+		who  int
+		what string
+	}
+	done := make(chan outcome, 2)
+	client := func(rank int, fn uint32, args []byte) {
+		a := madeleine2.NewActor(fmt.Sprintf("client-%d", rank))
+		for call := 0; call < 2; call++ {
+			conn, err := req[rank].BeginPacking(a, 0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := conn.Pack(packHeader(fn, len(args)), madeleine2.SendSafer, madeleine2.ReceiveExpress); err != nil {
+				log.Fatal(err)
+			}
+			if err := conn.Pack(args, madeleine2.SendCheaper, madeleine2.ReceiveCheaper); err != nil {
+				log.Fatal(err)
+			}
+			if err := conn.EndPacking(); err != nil {
+				log.Fatal(err)
+			}
+			rc, err := rep[rank].BeginUnpacking(a)
+			if err != nil {
+				log.Fatal(err)
+			}
+			hdr := make([]byte, 8)
+			if err := rc.Unpack(hdr, madeleine2.SendSafer, madeleine2.ReceiveExpress); err != nil {
+				log.Fatal(err)
+			}
+			out := make([]byte, binary.LittleEndian.Uint32(hdr[4:]))
+			if err := rc.Unpack(out, madeleine2.SendCheaper, madeleine2.ReceiveCheaper); err != nil {
+				log.Fatal(err)
+			}
+			if err := rc.EndUnpacking(); err != nil {
+				log.Fatal(err)
+			}
+			if call == 1 {
+				done <- outcome{rank, fmt.Sprintf("fn=%d result=%d bytes rtt-clock=%v", fn, len(out), a.Now())}
+			}
+		}
+	}
+	go client(1, fnSum, []byte{1, 2, 3, 4, 5})
+	go client(2, fnReverse, []byte("madeleine over myrinet"))
+
+	for i := 0; i < 2; i++ {
+		o := <-done
+		fmt.Printf("client %d finished: %s\n", o.who, o.what)
+	}
+	fmt.Println("ok: 4 RPCs served over the request (BIP) and reply (SISCI) channels")
+}

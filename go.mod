@@ -1,0 +1,3 @@
+module madeleine2
+
+go 1.22

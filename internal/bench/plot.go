@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Plot renders a Result's series as an ASCII chart in the style of the
+// paper's figures: bandwidth (MB/s) on the y axis against message size on
+// a logarithmic x axis, one mark per series. madbench -plot prints these
+// under each table.
+func (r Result) Plot(width, height int) string {
+	if len(r.Series) == 0 {
+		return ""
+	}
+	if width < 24 {
+		width = 24
+	}
+	if height < 6 {
+		height = 6
+	}
+	// Bounds.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	maxY := 0.0
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			if p.Size <= 0 {
+				continue
+			}
+			x := math.Log2(float64(p.Size))
+			minX = math.Min(minX, x)
+			maxX = math.Max(maxX, x)
+			maxY = math.Max(maxY, p.Bandwidth())
+		}
+	}
+	if math.IsInf(minX, 1) || maxY == 0 {
+		return ""
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	marks := "ox+*#@%&"
+	for si, s := range r.Series {
+		mark := marks[si%len(marks)]
+		for _, p := range s.Points {
+			if p.Size <= 0 {
+				continue
+			}
+			cx := int(float64(width-1) * (math.Log2(float64(p.Size)) - minX) / (maxX - minX))
+			cy := height - 1 - int(float64(height-1)*p.Bandwidth()/maxY)
+			if cy < 0 {
+				cy = 0
+			}
+			if grid[cy][cx] == ' ' || grid[cy][cx] == mark {
+				grid[cy][cx] = mark
+			} else {
+				grid[cy][cx] = '!' // overplot collision
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — bandwidth (MB/s) vs size (log x)\n", r.Title)
+	for i, row := range grid {
+		label := ""
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%6.1f", maxY)
+		case height - 1:
+			label = fmt.Sprintf("%6.1f", 0.0)
+		default:
+			label = strings.Repeat(" ", 6)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, row)
+	}
+	fmt.Fprintf(&b, "%s %s .. %s\n", strings.Repeat(" ", 7),
+		sizeLabel(1<<int(minX)), sizeLabel(1<<int(math.Ceil(maxX))))
+	for si, s := range r.Series {
+		fmt.Fprintf(&b, "        %c = %s\n", marks[si%len(marks)], s.Name)
+	}
+	return b.String()
+}

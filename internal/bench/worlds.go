@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"fmt"
+
+	"madeleine2/internal/bip"
+	"madeleine2/internal/core"
+	"madeleine2/internal/fwd"
+	"madeleine2/internal/sbp"
+	"madeleine2/internal/simnet"
+	"madeleine2/internal/sisci"
+	"madeleine2/internal/tcpnet"
+	"madeleine2/internal/via"
+)
+
+// TwoNodes builds a fresh two-node session with adapters for every driver
+// and a channel on the requested one — the §5.1 testbed (a pair of dual
+// PII-450 nodes on the interconnect under test).
+func TwoNodes(driver string) (*core.Session, map[int]*core.Channel, error) {
+	w := simnet.NewWorld(2)
+	for i := 0; i < 2; i++ {
+		w.Node(i).AddAdapter(bip.Network)
+		w.Node(i).AddAdapter(sisci.Network)
+		w.Node(i).AddAdapter(tcpnet.Network)
+		w.Node(i).AddAdapter(via.Network)
+		w.Node(i).AddAdapter(sbp.Network)
+	}
+	sess := core.NewSession(w)
+	chans, err := sess.NewChannel(core.ChannelSpec{Name: "bench-" + driver, Driver: driver})
+	if err != nil {
+		return nil, nil, err
+	}
+	return sess, chans, nil
+}
+
+// TwoClusters builds the §6.2 testbed: an SCI cluster {0,1,2} and a
+// Myrinet cluster {2,3,4} sharing gateway node 2, plus Fast Ethernet on
+// every node for the acknowledgment path.
+func TwoClusters() *core.Session {
+	w := simnet.NewWorld(5)
+	for _, r := range []int{0, 1, 2} {
+		w.Node(r).AddAdapter(sisci.Network)
+	}
+	for _, r := range []int{2, 3, 4} {
+		w.Node(r).AddAdapter(bip.Network)
+	}
+	for r := 0; r < 5; r++ {
+		w.Node(r).AddAdapter(tcpnet.Network)
+	}
+	return core.NewSession(w)
+}
+
+// HetVC creates the SCI+Myrinet virtual channel of the forwarding
+// experiments on a fresh two-cluster session.
+func HetVC(name string, mtu int, mutate func(*fwd.Spec)) (map[int]*fwd.VC, error) {
+	sess := TwoClusters()
+	spec := fwd.Spec{
+		Name: name,
+		MTU:  mtu,
+		Segments: []core.ChannelSpec{
+			{Driver: "sisci", Nodes: []int{0, 1, 2}},
+			{Driver: "bip", Nodes: []int{2, 3, 4}},
+		},
+	}
+	if mutate != nil {
+		mutate(&spec)
+	}
+	return fwd.New(sess, spec)
+}
+
+// CloseVCs shuts a virtual channel set down.
+func CloseVCs(vcs map[int]*fwd.VC) {
+	for _, v := range vcs {
+		v.Close()
+	}
+}
+
+// uniqueName disambiguates channels created within one process run.
+var nameSeq int
+
+// NextName returns a unique bench channel name.
+func NextName(prefix string) string {
+	nameSeq++
+	return fmt.Sprintf("%s-%d", prefix, nameSeq)
+}

@@ -1,0 +1,230 @@
+// Package bip re-implements the contract of BIP (Basic Interface for
+// Parallelism), the user-level Myrinet interface of Prylli & Tourancheau
+// used by the paper's BIP PMM, on top of the simulated fabric.
+//
+// BIP distinguishes two transfer regimes (§5.2.2 of the paper):
+//
+//   - Short messages (< 1 kB) are deposited into a bounded set of
+//     preallocated receive buffers on the destination NIC without any
+//     participation of the receiver. The set is bounded: a sender that
+//     overruns it corrupts the ring on real hardware; here the overrun is
+//     detected and reported as ErrShortOverrun. Flow control is the
+//     caller's job — Madeleine's short-message TM runs credits over this
+//     interface exactly as the paper describes.
+//
+//   - Long messages are delivered directly into their final location with
+//     zero copies, which requires a strict rendezvous: the sender blocks
+//     until the receiver has posted a matching receive, then the NIC DMAs
+//     the payload into the posted buffer.
+//
+// Messages are matched by (source node, tag); delivery is in-order per
+// (source, tag) pair, matching BIP's per-tag ordered queues.
+package bip
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"madeleine2/internal/model"
+	"madeleine2/internal/simnet"
+	"madeleine2/internal/vclock"
+)
+
+// Network is the fabric name BIP adapters attach to.
+const Network = "myrinet"
+
+// ShortMax is the exclusive size bound of the short-message path.
+const ShortMax = model.BIPShortMax
+
+// ShortBufs is the number of preallocated short-message buffers per
+// (source, tag) pair.
+const ShortBufs = model.BIPShortCredits
+
+// ErrShortOverrun reports that a short send exceeded the receiver's
+// preallocated buffer ring — the detectable analogue of the corruption an
+// unflow-controlled sender causes on real hardware.
+var ErrShortOverrun = errors.New("bip: short-message receive buffers overrun (missing flow control)")
+
+// ErrTooLong reports a short-path send above ShortMax.
+var ErrTooLong = errors.New("bip: message too long for the short path")
+
+type key struct {
+	src int
+	tag int
+}
+
+// Interface is one node's access to BIP on a Myrinet adapter.
+type Interface struct {
+	adapter *simnet.Adapter
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	posted  map[key][]*postedRecv // long-path rendezvous queues
+	shortIn map[key]int           // occupied short buffers
+}
+
+type postedRecv struct {
+	buf      []byte
+	postedAt vclock.Time
+	n        int
+	arrive   vclock.Time
+	err      error
+	done     chan struct{}
+}
+
+var ifaceRegistry sync.Map // *simnet.Adapter -> *Interface
+
+// Attach opens BIP on the idx-th Myrinet adapter of node n. Attaching twice
+// to the same adapter returns the same Interface, as with the real driver's
+// per-process initialization.
+func Attach(n *simnet.Node, idx int) (*Interface, error) {
+	a, err := n.Adapter(Network, idx)
+	if err != nil {
+		return nil, fmt.Errorf("bip: %w", err)
+	}
+	b := &Interface{
+		adapter: a,
+		posted:  make(map[key][]*postedRecv),
+		shortIn: make(map[key]int),
+	}
+	b.cond = sync.NewCond(&b.mu)
+	actual, _ := ifaceRegistry.LoadOrStore(a, b)
+	return actual.(*Interface), nil
+}
+
+// Adapter returns the underlying simulated NIC.
+func (b *Interface) Adapter() *simnet.Adapter { return b.adapter }
+
+// Node reports the rank of the interface's host.
+func (b *Interface) Node() int { return b.adapter.Node().ID() }
+
+// peer resolves the destination node's Interface on the same network and
+// adapter index (it must have been Attached).
+func (b *Interface) peer(dst int) (*Interface, error) {
+	pa, err := b.adapter.Peer(dst, b.adapter.Index())
+	if err != nil {
+		return nil, err
+	}
+	v, ok := ifaceRegistry.Load(pa)
+	if !ok {
+		return nil, fmt.Errorf("bip: node %d has not attached to %s[%d]", dst, Network, b.adapter.Index())
+	}
+	return v.(*Interface), nil
+}
+
+// shortLane maps a BIP tag to its fabric lane: BIP maintains one ordered
+// short-message queue per tag.
+func shortLane(tag int) int { return tag }
+
+// TSendShort sends a short message to (dst, tag). It returns
+// ErrShortOverrun if the receiver's preallocated ring for this (src, tag)
+// is full — callers are expected to run their own flow control.
+func (b *Interface) TSendShort(a *vclock.Actor, dst, tag int, data []byte) error {
+	if len(data) >= ShortMax {
+		return ErrTooLong
+	}
+	p, err := b.peer(dst)
+	if err != nil {
+		return err
+	}
+	k := key{b.Node(), tag}
+	p.mu.Lock()
+	if p.shortIn[k] >= ShortBufs {
+		p.mu.Unlock()
+		return ErrShortOverrun
+	}
+	p.shortIn[k]++
+	p.mu.Unlock()
+
+	// The host hands the message to the LANai; the NIC serializes injection.
+	// Host-side per-call costs are folded into the model's fixed term.
+	start, _ := b.adapter.TxEngine().Acquire(a.Now(), model.BIPShort.ByteTime(len(data)))
+	arrive := start + model.BIPShort.Time(len(data))
+	cp := make([]byte, len(data)) // the NIC copies into its SRAM
+	copy(cp, data)
+	b.adapter.Deliver(p.adapter, shortLane(tag), simnet.Packet{
+		Data:   cp,
+		Inject: int64(start),
+		Arrive: int64(arrive),
+		Tag:    uint64(tag),
+	})
+	return nil
+}
+
+// TRecvShort receives the next short message from (src, tag) into one of
+// the preallocated buffers and returns that buffer (valid until the next
+// receive on the same pair, as with BIP's internal buffers; callers copy
+// out what they need to keep).
+func (b *Interface) TRecvShort(a *vclock.Actor, src, tag int) ([]byte, error) {
+	pkt, ok := b.adapter.RxLane(src, shortLane(tag)).Pop()
+	if !ok {
+		return nil, fmt.Errorf("bip: receive lane closed")
+	}
+	k := key{src, tag}
+	b.mu.Lock()
+	b.shortIn[k]--
+	b.mu.Unlock()
+	a.Sync(vclock.Time(pkt.Arrive))
+	return pkt.Data, nil
+}
+
+// TRecvLong posts a receive for a long message from (src, tag) into buf and
+// blocks until the payload has been delivered into buf. It returns the
+// payload length. Posting the receive is what releases the matching sender
+// (BIP's receiver-acknowledgment synchronization).
+func (b *Interface) TRecvLong(a *vclock.Actor, src, tag int, buf []byte) (int, error) {
+	pr := &postedRecv{buf: buf, postedAt: a.Now(), done: make(chan struct{})}
+	k := key{src, tag}
+	b.mu.Lock()
+	b.posted[k] = append(b.posted[k], pr)
+	b.mu.Unlock()
+	b.cond.Broadcast()
+	<-pr.done
+	a.Sync(pr.arrive)
+	if pr.err != nil {
+		return 0, pr.err
+	}
+	return pr.n, nil
+}
+
+// TSendLong sends data to (dst, tag) on the long-message path: it blocks
+// until the receiver has posted a matching receive, then delivers the
+// payload directly into the posted buffer.
+func (b *Interface) TSendLong(a *vclock.Actor, dst, tag int, data []byte) error {
+	p, err := b.peer(dst)
+	if err != nil {
+		return err
+	}
+	// Rendezvous request reaches the receiver...
+	reqArrive := a.Now() + model.BIPControl.Time(0)
+	// ...and we block until a matching receive is posted.
+	k := key{b.Node(), tag}
+	p.mu.Lock()
+	for len(p.posted[k]) == 0 {
+		p.cond.Wait()
+	}
+	pr := p.posted[k][0]
+	p.posted[k] = p.posted[k][1:]
+	p.mu.Unlock()
+
+	// The "ready" acknowledgment leaves once both the request has arrived
+	// and the receive is posted.
+	ready := vclock.Max(reqArrive, pr.postedAt) + model.BIPControl.Time(0)
+	a.Sync(ready)
+	a.Advance(model.BIPLong.Fixed) // DMA setup + completion interrupt
+	_, end := b.adapter.TxEngine().Acquire(a.Now(), model.BIPLong.ByteTime(len(data)))
+	// bip_send blocks until the message has fully left: the caller's
+	// buffer is reusable when TSendLong returns.
+	a.Sync(end)
+	if len(pr.buf) < len(data) {
+		pr.err = fmt.Errorf("bip: posted receive buffer too small (%d < %d)", len(pr.buf), len(data))
+		close(pr.done)
+		return pr.err
+	}
+	copy(pr.buf, data) // zero-copy delivery into the final location
+	pr.n = len(data)
+	pr.arrive = end
+	close(pr.done)
+	return nil
+}

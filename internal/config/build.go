@@ -1,0 +1,78 @@
+package config
+
+import (
+	"fmt"
+
+	"madeleine2/internal/core"
+	"madeleine2/internal/fwd"
+	"madeleine2/internal/simnet"
+)
+
+// Cluster is a live session built from a Config.
+type Cluster struct {
+	World    *simnet.World
+	Session  *core.Session
+	Channels map[string]map[int]*core.Channel
+	Virtual  map[string]map[int]*fwd.VC
+}
+
+// Build instantiates the configuration: world, adapters, session, real
+// channels and virtual channels, in declaration order.
+func (c *Config) Build() (*Cluster, error) {
+	w := simnet.NewWorld(c.Nodes)
+	for _, a := range c.Adapters {
+		nodes := a.Nodes
+		if nodes == nil {
+			nodes = allNodes(c.Nodes)
+		}
+		for _, r := range nodes {
+			if r < 0 || r >= c.Nodes {
+				return nil, fmt.Errorf("config: adapter %s on nonexistent node %d", a.Network, r)
+			}
+			w.Node(r).AddAdapter(a.Network)
+		}
+	}
+	sess := core.NewSession(w)
+	out := &Cluster{
+		World:    w,
+		Session:  sess,
+		Channels: make(map[string]map[int]*core.Channel),
+		Virtual:  make(map[string]map[int]*fwd.VC),
+	}
+	for _, ch := range c.Channels {
+		chans, err := sess.NewChannel(core.ChannelSpec{Name: ch.Name, Driver: ch.Driver, Nodes: ch.Nodes})
+		if err != nil {
+			return nil, fmt.Errorf("config: channel %q: %w", ch.Name, err)
+		}
+		out.Channels[ch.Name] = chans
+	}
+	for _, v := range c.Virtual {
+		spec := fwd.Spec{Name: v.Name, MTU: v.MTU, BandwidthControl: v.Control}
+		for _, seg := range v.Segments {
+			spec.Segments = append(spec.Segments, core.ChannelSpec{Driver: seg.Driver, Nodes: seg.Nodes})
+		}
+		vcs, err := fwd.New(sess, spec)
+		if err != nil {
+			return nil, fmt.Errorf("config: vchannel %q: %w", v.Name, err)
+		}
+		out.Virtual[v.Name] = vcs
+	}
+	return out, nil
+}
+
+// Close shuts every virtual channel down.
+func (cl *Cluster) Close() {
+	for _, vcs := range cl.Virtual {
+		for _, v := range vcs {
+			v.Close()
+		}
+	}
+}
+
+func allNodes(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

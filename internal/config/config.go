@@ -1,0 +1,238 @@
+// Package config parses cluster/session description files in the spirit
+// of PM2's configuration step: the paper's library is configured
+// statically ("the network configuration is statically configured",
+// §6.1), with nodes, adapters, channels and virtual channels declared up
+// front. The format is line-based:
+//
+//	# the §6.2 testbed
+//	nodes 5
+//	adapter sci 0 1 2
+//	adapter myrinet 2 3 4
+//	adapter ethernet *
+//	channel ctrl tcp
+//	channel data sisci nodes=0,1,2
+//	vchannel het mtu=16k control=0
+//	  segment sisci nodes=0,1,2
+//	  segment bip nodes=2,3,4
+//	end
+//
+// Sizes accept k/m suffixes. `*` means every node. Build() turns a parsed
+// Config into a live world, session, channels and virtual channels.
+package config
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Config is a parsed session description.
+type Config struct {
+	Nodes    int
+	Adapters []Adapter
+	Channels []Channel
+	Virtual  []Virtual
+}
+
+// Adapter declares one adapter per listed node on a network.
+type Adapter struct {
+	Network string
+	Nodes   []int // nil = every node
+}
+
+// Channel declares a real channel.
+type Channel struct {
+	Name   string
+	Driver string
+	Nodes  []int // nil = every eligible node
+}
+
+// Virtual declares a virtual channel with its segments.
+type Virtual struct {
+	Name     string
+	MTU      int
+	Control  float64 // gateway bandwidth control, MB/s
+	Segments []Channel
+}
+
+// Parse reads a session description.
+func Parse(r io.Reader) (*Config, error) {
+	cfg := &Config{}
+	sc := bufio.NewScanner(r)
+	var vc *Virtual // open vchannel block
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("config: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+		}
+		switch fields[0] {
+		case "nodes":
+			if len(fields) != 2 {
+				return nil, fail("usage: nodes <count>")
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n <= 0 {
+				return nil, fail("bad node count %q", fields[1])
+			}
+			cfg.Nodes = n
+		case "adapter":
+			if len(fields) < 3 {
+				return nil, fail("usage: adapter <network> <nodes...|*>")
+			}
+			nodes, err := parseNodeList(fields[2:])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			cfg.Adapters = append(cfg.Adapters, Adapter{Network: fields[1], Nodes: nodes})
+		case "channel":
+			if vc != nil {
+				return nil, fail("channel inside a vchannel block (use segment)")
+			}
+			ch, err := parseChannel(fields[1:])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			cfg.Channels = append(cfg.Channels, ch)
+		case "vchannel":
+			if vc != nil {
+				return nil, fail("nested vchannel")
+			}
+			if len(fields) < 2 {
+				return nil, fail("usage: vchannel <name> [mtu=N] [control=MB/s]")
+			}
+			v := Virtual{Name: fields[1]}
+			for _, opt := range fields[2:] {
+				k, val, ok := strings.Cut(opt, "=")
+				if !ok {
+					return nil, fail("bad option %q", opt)
+				}
+				switch k {
+				case "mtu":
+					n, err := parseSize(val)
+					if err != nil {
+						return nil, fail("bad mtu: %v", err)
+					}
+					v.MTU = n
+				case "control":
+					f, err := strconv.ParseFloat(val, 64)
+					if err != nil || f < 0 {
+						return nil, fail("bad control rate %q", val)
+					}
+					v.Control = f
+				default:
+					return nil, fail("unknown vchannel option %q", k)
+				}
+			}
+			vc = &v
+		case "segment":
+			if vc == nil {
+				return nil, fail("segment outside a vchannel block")
+			}
+			seg, err := parseChannel(append([]string{fmt.Sprintf("%s#%d", vc.Name, len(vc.Segments))}, fields[1:]...))
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			vc.Segments = append(vc.Segments, seg)
+		case "end":
+			if vc == nil {
+				return nil, fail("end without vchannel")
+			}
+			if len(vc.Segments) == 0 {
+				return nil, fail("vchannel %q has no segments", vc.Name)
+			}
+			cfg.Virtual = append(cfg.Virtual, *vc)
+			vc = nil
+		default:
+			return nil, fail("unknown directive %q", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	if vc != nil {
+		return nil, fmt.Errorf("config: unterminated vchannel %q", vc.Name)
+	}
+	if cfg.Nodes == 0 {
+		return nil, fmt.Errorf("config: missing 'nodes' directive")
+	}
+	return cfg, nil
+}
+
+// ParseString parses a description held in a string.
+func ParseString(s string) (*Config, error) { return Parse(strings.NewReader(s)) }
+
+// parseChannel parses "name driver [nodes=...]".
+func parseChannel(fields []string) (Channel, error) {
+	if len(fields) < 2 {
+		return Channel{}, fmt.Errorf("usage: channel <name> <driver> [nodes=a,b,c]")
+	}
+	ch := Channel{Name: fields[0], Driver: fields[1]}
+	for _, opt := range fields[2:] {
+		k, val, ok := strings.Cut(opt, "=")
+		if !ok || k != "nodes" {
+			return Channel{}, fmt.Errorf("unknown channel option %q", opt)
+		}
+		nodes, err := parseNodeList(strings.Split(val, ","))
+		if err != nil {
+			return Channel{}, err
+		}
+		ch.Nodes = nodes
+	}
+	return ch, nil
+}
+
+// parseNodeList parses node tokens: numbers, a..b ranges, or * (nil).
+func parseNodeList(tokens []string) ([]int, error) {
+	var out []int
+	for _, tok := range tokens {
+		tok = strings.TrimSpace(tok)
+		switch {
+		case tok == "*":
+			return nil, nil
+		case strings.Contains(tok, ".."):
+			lo, hi, _ := strings.Cut(tok, "..")
+			a, err1 := strconv.Atoi(lo)
+			b, err2 := strconv.Atoi(hi)
+			if err1 != nil || err2 != nil || a > b {
+				return nil, fmt.Errorf("bad node range %q", tok)
+			}
+			for n := a; n <= b; n++ {
+				out = append(out, n)
+			}
+		default:
+			n, err := strconv.Atoi(tok)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("bad node %q", tok)
+			}
+			out = append(out, n)
+		}
+	}
+	return out, nil
+}
+
+// parseSize parses "16384", "16k", "2m".
+func parseSize(s string) (int, error) {
+	mult := 1
+	switch {
+	case strings.HasSuffix(s, "k"), strings.HasSuffix(s, "K"):
+		mult, s = 1024, s[:len(s)-1]
+	case strings.HasSuffix(s, "m"), strings.HasSuffix(s, "M"):
+		mult, s = 1<<20, s[:len(s)-1]
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return n * mult, nil
+}

@@ -1,0 +1,187 @@
+package config
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"madeleine2/internal/core"
+	"madeleine2/internal/vclock"
+)
+
+// testbed is the §6.2 two-cluster configuration as a description file.
+const testbed = `
+# the CLUSTER 2000 testbed
+nodes 5
+adapter sci 0 1 2
+adapter myrinet 2..4
+adapter ethernet *
+channel ctrl tcp
+channel sanA sisci nodes=0,1,2
+vchannel het mtu=16k control=0
+  segment sisci nodes=0,1,2
+  segment bip nodes=2,3,4
+end
+`
+
+func TestParseTestbed(t *testing.T) {
+	cfg, err := ParseString(testbed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Nodes != 5 {
+		t.Errorf("nodes = %d", cfg.Nodes)
+	}
+	if len(cfg.Adapters) != 3 {
+		t.Fatalf("adapters = %d", len(cfg.Adapters))
+	}
+	if got := cfg.Adapters[1].Nodes; len(got) != 3 || got[0] != 2 || got[2] != 4 {
+		t.Errorf("range nodes = %v", got)
+	}
+	if cfg.Adapters[2].Nodes != nil {
+		t.Errorf("* must mean all nodes (nil), got %v", cfg.Adapters[2].Nodes)
+	}
+	if len(cfg.Channels) != 2 || cfg.Channels[0].Driver != "tcp" {
+		t.Errorf("channels = %+v", cfg.Channels)
+	}
+	if len(cfg.Virtual) != 1 {
+		t.Fatalf("virtual = %d", len(cfg.Virtual))
+	}
+	v := cfg.Virtual[0]
+	if v.Name != "het" || v.MTU != 16<<10 || len(v.Segments) != 2 {
+		t.Errorf("vchannel = %+v", v)
+	}
+	if v.Segments[1].Driver != "bip" || len(v.Segments[1].Nodes) != 3 {
+		t.Errorf("segment = %+v", v.Segments[1])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"missing nodes", "adapter sci *"},
+		{"bad count", "nodes zero"},
+		{"bad directive", "nodes 2\nfrobnicate"},
+		{"bad node", "nodes 2\nadapter sci x"},
+		{"bad range", "nodes 2\nadapter sci 3..1"},
+		{"channel usage", "nodes 2\nchannel onlyname"},
+		{"bad channel option", "nodes 2\nchannel a tcp color=red"},
+		{"segment outside", "nodes 2\nsegment tcp"},
+		{"nested vchannel", "nodes 2\nvchannel a\nvchannel b"},
+		{"channel in vchannel", "nodes 2\nvchannel a\nchannel x tcp"},
+		{"end without open", "nodes 2\nend"},
+		{"empty vchannel", "nodes 2\nvchannel a\nend"},
+		{"unterminated", "nodes 2\nvchannel a\nsegment tcp"},
+		{"bad mtu", "nodes 2\nvchannel a mtu=huge\nsegment tcp\nend"},
+		{"bad control", "nodes 2\nvchannel a control=-1\nsegment tcp\nend"},
+		{"bad vchannel option", "nodes 2\nvchannel a qos=max\nsegment tcp\nend"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ParseString(c.src); err == nil {
+				t.Errorf("%s: parse must fail", c.name)
+			}
+		})
+	}
+}
+
+func TestParseSizes(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want int
+	}{{"512", 512}, {"16k", 16 << 10}, {"2K", 2 << 10}, {"2m", 2 << 20}, {"1M", 1 << 20}} {
+		got, err := parseSize(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("parseSize(%q) = %d, %v", c.in, got, err)
+		}
+	}
+	for _, bad := range []string{"", "k", "-1", "0", "12x"} {
+		if _, err := parseSize(bad); err == nil {
+			t.Errorf("parseSize(%q) must fail", bad)
+		}
+	}
+}
+
+func TestBuildAndRun(t *testing.T) {
+	cfg, err := Parse(bytes.NewReader([]byte(testbed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := cfg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// The control channel spans every node (ethernet is everywhere).
+	ctrl := cl.Channels["ctrl"]
+	if len(ctrl) != 5 {
+		t.Fatalf("ctrl members = %d", len(ctrl))
+	}
+	// Smoke message over the built SAN channel.
+	s, r := vclock.NewActor("s"), vclock.NewActor("r")
+	go func() {
+		conn, _ := cl.Channels["sanA"][0].BeginPacking(s, 1)
+		conn.Pack([]byte("built"), core.SendCheaper, core.ReceiveExpress)
+		conn.EndPacking()
+	}()
+	conn, err := cl.Channels["sanA"][1].BeginUnpacking(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	conn.Unpack(buf, core.SendCheaper, core.ReceiveExpress)
+	conn.EndUnpacking()
+	if string(buf) != "built" {
+		t.Errorf("got %q", buf)
+	}
+	// And over the built virtual channel, across the gateway.
+	het := cl.Virtual["het"]
+	if het[0] == nil || het[4] == nil {
+		t.Fatal("virtual channel handles missing")
+	}
+	go func() {
+		a := vclock.NewActor("vs")
+		conn, err := het[0].BeginPacking(a, 4)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		conn.Pack([]byte("forwarded"), core.SendCheaper, core.ReceiveCheaper)
+		conn.EndPacking()
+	}()
+	b := vclock.NewActor("vr")
+	vconn, err := het[4].BeginUnpacking(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 9)
+	vconn.Unpack(got, core.SendCheaper, core.ReceiveCheaper)
+	vconn.EndUnpacking()
+	if string(got) != "forwarded" {
+		t.Errorf("vc got %q", got)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	cfg, _ := ParseString("nodes 2\nadapter sci 0 5\n")
+	if _, err := cfg.Build(); err == nil {
+		t.Error("adapter on a nonexistent node must fail at build")
+	}
+	cfg2, _ := ParseString("nodes 2\nchannel x nosuchdriver\n")
+	if _, err := cfg2.Build(); err == nil {
+		t.Error("unknown driver must fail at build")
+	}
+	cfg3, _ := ParseString(strings.TrimSpace(`
+nodes 4
+adapter sci 0 1
+adapter myrinet 2 3
+vchannel broken
+  segment sisci nodes=0,1
+  segment bip nodes=2,3
+end`))
+	if _, err := cfg3.Build(); err == nil {
+		t.Error("segments without a shared gateway must fail at build")
+	}
+}

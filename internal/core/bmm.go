@@ -1,0 +1,291 @@
+package core
+
+import (
+	"fmt"
+
+	"madeleine2/internal/model"
+	"madeleine2/internal/vclock"
+)
+
+// This file implements the Buffer Management Layer's three policies (§3.4):
+//
+//   - eagerDyn:  dynamic buffers, eager sending ("a BMM may also adopt an
+//     eager behavior and send buffers as soon as they are ready").
+//   - aggrDyn:   dynamic buffers with aggregation into groups, exploiting
+//     scatter/gather TM capabilities.
+//   - statCopy:  static protocol buffers: user data is copied into buffers
+//     provided by the TM, with small blocks aggregated inside one buffer.
+//
+// All three preserve FIFO order on the wire: once a block is delayed
+// (send_LATER, or aggregation), every subsequent block of the same message
+// queues behind it. A block packed with receive_EXPRESS flushes the policy
+// so the receiver can complete its Unpack immediately; this latches any
+// pending send_LATER block at that point (at latest at EndPacking),
+// which is this implementation's documented resolution of the
+// LATER-before-EXPRESS combination.
+
+// pendingBlock is one delayed dynamic block.
+type pendingBlock struct {
+	data []byte // reference (LATER/CHEAPER) or private copy (SAFER)
+}
+
+// eagerDyn sends each block as soon as allowed, one TM buffer per block.
+type eagerDyn struct {
+	cs      *ConnState
+	tm      TM
+	pending []pendingBlock // nonempty only while a LATER block holds the line
+	dsts    [][]byte       // deferred receive destinations
+}
+
+func newEagerDyn(tm TM, cs *ConnState) *eagerDyn { return &eagerDyn{cs: cs, tm: tm} }
+
+func (b *eagerDyn) Name() string { return "dyn-eager" }
+
+func (b *eagerDyn) Pack(a *vclock.Actor, data []byte, sm SendMode, rm RecvMode) error {
+	blk := data
+	if sm == SendSafer {
+		blk = append([]byte(nil), data...)
+	}
+	switch {
+	case sm == SendLater:
+		b.pending = append(b.pending, pendingBlock{data: blk})
+	case len(b.pending) > 0:
+		// FIFO: a delayed block holds the line.
+		b.pending = append(b.pending, pendingBlock{data: blk})
+	default:
+		return b.tm.SendBuffer(a, b.cs, blk)
+	}
+	if rm == ReceiveExpress {
+		return b.Commit(a)
+	}
+	return nil
+}
+
+func (b *eagerDyn) Commit(a *vclock.Actor) error {
+	for _, p := range b.pending {
+		if err := b.tm.SendBuffer(a, b.cs, p.data); err != nil {
+			return err
+		}
+	}
+	b.pending = b.pending[:0]
+	return nil
+}
+
+func (b *eagerDyn) Unpack(a *vclock.Actor, dst []byte, rm RecvMode) error {
+	b.dsts = append(b.dsts, dst)
+	if rm == ReceiveExpress {
+		return b.Checkout(a)
+	}
+	return nil
+}
+
+func (b *eagerDyn) Checkout(a *vclock.Actor) error {
+	for _, d := range b.dsts {
+		if err := b.tm.ReceiveBuffer(a, b.cs, d); err != nil {
+			return err
+		}
+		a.Advance(model.MadUnpackCost)
+	}
+	b.dsts = b.dsts[:0]
+	return nil
+}
+
+// aggrDyn groups dynamic buffers and flushes them with one scatter/gather
+// TM operation.
+type aggrDyn struct {
+	cs    *ConnState
+	tm    TM
+	group [][]byte
+	dsts  [][]byte
+}
+
+func newAggrDyn(tm TM, cs *ConnState) *aggrDyn { return &aggrDyn{cs: cs, tm: tm} }
+
+func (b *aggrDyn) Name() string { return "dyn-aggregate" }
+
+func (b *aggrDyn) Pack(a *vclock.Actor, data []byte, sm SendMode, rm RecvMode) error {
+	blk := data
+	if sm == SendSafer {
+		blk = append([]byte(nil), data...)
+	}
+	b.group = append(b.group, blk) // LATER and CHEAPER stay referenced
+	if rm == ReceiveExpress {
+		return b.Commit(a)
+	}
+	return nil
+}
+
+func (b *aggrDyn) Commit(a *vclock.Actor) error {
+	if len(b.group) == 0 {
+		return nil
+	}
+	g := b.group
+	b.group = nil
+	return b.tm.SendBufferGroup(a, b.cs, g)
+}
+
+func (b *aggrDyn) Unpack(a *vclock.Actor, dst []byte, rm RecvMode) error {
+	b.dsts = append(b.dsts, dst)
+	if rm == ReceiveExpress {
+		return b.Checkout(a)
+	}
+	return nil
+}
+
+func (b *aggrDyn) Checkout(a *vclock.Actor) error {
+	if len(b.dsts) == 0 {
+		return nil
+	}
+	d := b.dsts
+	b.dsts = nil
+	if err := b.tm.ReceiveSubBufferGroup(a, b.cs, d); err != nil {
+		return err
+	}
+	a.Advance(vclock.Time(len(d)) * model.MadUnpackCost)
+	return nil
+}
+
+// laterRegion is a reserved region of a static buffer whose contents are
+// read only when the buffer is flushed (send_LATER).
+type laterRegion struct {
+	off int
+	src []byte
+}
+
+// statCopy copies user blocks into TM-provided static buffers, aggregating
+// consecutive small blocks inside one buffer and splitting large blocks
+// across several. send_LATER blocks get their space reserved and are read
+// at flush time.
+type statCopy struct {
+	cs    *ConnState
+	tm    TM
+	cur   []byte // current outgoing static buffer (nil when none)
+	fill  int
+	later []laterRegion
+
+	rcur []byte // current incoming static buffer
+	roff int
+	dsts [][]byte
+}
+
+func newStatCopy(tm TM, cs *ConnState) *statCopy {
+	if tm.StaticSize() <= 0 {
+		panic(fmt.Sprintf("core: static-copy BMM over dynamic TM %s", tm.Name()))
+	}
+	return &statCopy{cs: cs, tm: tm}
+}
+
+func (b *statCopy) Name() string { return "static-copy" }
+
+func (b *statCopy) Pack(a *vclock.Actor, data []byte, sm SendMode, rm RecvMode) error {
+	rest := data
+	for {
+		if b.cur == nil {
+			buf, err := b.tm.ObtainStaticBuffer(a, b.cs)
+			if err != nil {
+				return err
+			}
+			b.cur, b.fill = buf, 0
+		}
+		space := len(b.cur) - b.fill
+		take := len(rest)
+		if take > space {
+			take = space
+		}
+		if sm == SendLater {
+			// Reserve the space; latch the bytes at flush time.
+			b.later = append(b.later, laterRegion{off: b.fill, src: rest[:take]})
+		} else {
+			copy(b.cur[b.fill:], rest[:take])
+		}
+		b.fill += take
+		rest = rest[take:]
+		if b.fill == len(b.cur) {
+			if err := b.flush(a); err != nil {
+				return err
+			}
+		}
+		if len(rest) == 0 {
+			break
+		}
+	}
+	if rm == ReceiveExpress {
+		return b.Commit(a)
+	}
+	return nil
+}
+
+// flush latches LATER regions and hands the filled prefix to the TM.
+func (b *statCopy) flush(a *vclock.Actor) error {
+	if b.cur == nil || b.fill == 0 {
+		return nil
+	}
+	for _, lr := range b.later {
+		copy(b.cur[lr.off:], lr.src)
+	}
+	b.later = b.later[:0]
+	buf := b.cur[:b.fill]
+	b.cur, b.fill = nil, 0
+	return b.tm.SendBuffer(a, b.cs, buf)
+}
+
+func (b *statCopy) Commit(a *vclock.Actor) error { return b.flush(a) }
+
+func (b *statCopy) Unpack(a *vclock.Actor, dst []byte, rm RecvMode) error {
+	b.dsts = append(b.dsts, dst)
+	if rm == ReceiveExpress {
+		return b.Checkout(a)
+	}
+	return nil
+}
+
+func (b *statCopy) Checkout(a *vclock.Actor) error {
+	for _, dst := range b.dsts {
+		for len(dst) > 0 {
+			if b.rcur == nil || b.roff == len(b.rcur) {
+				if b.rcur != nil {
+					if err := b.tm.ReleaseStaticBuffer(a, b.cs, b.rcur); err != nil {
+						return err
+					}
+					b.rcur = nil
+				}
+				buf, err := b.tm.ReceiveStaticBuffer(a, b.cs)
+				if err != nil {
+					return err
+				}
+				b.rcur, b.roff = buf, 0
+			}
+			take := len(b.rcur) - b.roff
+			if take > len(dst) {
+				take = len(dst)
+			}
+			copy(dst, b.rcur[b.roff:b.roff+take])
+			b.roff += take
+			dst = dst[take:]
+		}
+		a.Advance(model.MadUnpackCost)
+	}
+	b.dsts = b.dsts[:0]
+	// Release an exactly-exhausted buffer right away: symmetric sequences
+	// always end on a buffer boundary.
+	if b.rcur != nil && b.roff == len(b.rcur) {
+		if err := b.tm.ReleaseStaticBuffer(a, b.cs, b.rcur); err != nil {
+			return err
+		}
+		b.rcur = nil
+	}
+	return nil
+}
+
+// Exported BMM constructors for externally registered protocol modules
+// (core.RegisterDriver): external TMs pick their policy with these.
+
+// NewEagerBMM returns a dynamic-buffer eager policy instance.
+func NewEagerBMM(tm TM, cs *ConnState) BMM { return newEagerDyn(tm, cs) }
+
+// NewAggregatingBMM returns a dynamic-buffer aggregating policy instance.
+func NewAggregatingBMM(tm TM, cs *ConnState) BMM { return newAggrDyn(tm, cs) }
+
+// NewStaticCopyBMM returns a static-buffer copy policy instance; the TM
+// must provide static buffers.
+func NewStaticCopyBMM(tm TM, cs *ConnState) BMM { return newStatCopy(tm, cs) }

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"fmt"
+
+	"madeleine2/internal/model"
+	"madeleine2/internal/simnet"
+	"madeleine2/internal/vclock"
+)
+
+// Channel is a closed world of communication (§2.1): a network interface,
+// an adapter, and one reliable in-order connection per member pair.
+// Communication on one channel never interferes with another channel, and
+// in-order delivery is guaranteed per point-to-point connection within a
+// channel.
+type Channel struct {
+	sess    *Session
+	name    string
+	id      int
+	rank    int
+	pmm     PMM
+	members []int
+
+	// incoming carries message-start notifications: one rank per message,
+	// pushed by the sender's first wire operation. It models the receive
+	// side's "poll every connection, serve the first that fires" loop.
+	incoming *simnet.Queue[int]
+
+	conns map[int]*ConnState
+	stats chanStats
+}
+
+// Name reports the channel's session-wide name.
+func (c *Channel) Name() string { return c.name }
+
+// Close shuts the channel's receive side down: a blocked or future
+// BeginUnpacking returns ErrClosed once pending messages drain. Used by
+// layers that run receiver daemons over a channel (forwarding, MPI, Nexus).
+func (c *Channel) Close() { c.incoming.Close() }
+
+// Rank reports the local process rank.
+func (c *Channel) Rank() int { return c.rank }
+
+// Members lists the channel's member ranks.
+func (c *Channel) Members() []int { return append([]int(nil), c.members...) }
+
+// PMMName reports the protocol module driving the channel.
+func (c *Channel) PMMName() string { return c.pmm.Name() }
+
+// Link summarizes the channel's best-TM one-way cost for n-byte blocks;
+// reports and the forwarding arbiter use it.
+func (c *Channel) Link(n int) model.Link { return c.pmm.Link(n) }
+
+// conn resolves the connection state toward a member rank.
+func (c *Channel) conn(remote int) (*ConnState, error) {
+	cs := c.conns[remote]
+	if cs == nil {
+		return nil, fmt.Errorf("core: channel %q has no connection %d->%d", c.name, c.rank, remote)
+	}
+	return cs, nil
+}
+
+// ConnState is the per-(channel, peer) connection state shared by both
+// directions: the Switch step's current TM, the BMM instances, and the
+// protocol module's private resources.
+type ConnState struct {
+	ch     *Channel
+	local  int
+	remote int
+
+	// send direction
+	sTM       TM
+	sBMMs     map[TM]BMM
+	announced bool
+	packed    bool
+
+	// receive direction
+	rTM   TM
+	rBMMs map[TM]BMM
+
+	// Priv holds the protocol module's per-connection resources.
+	Priv any
+}
+
+// Channel returns the owning channel.
+func (cs *ConnState) Channel() *Channel { return cs.ch }
+
+// Local reports the local rank; Remote the peer rank.
+func (cs *ConnState) Local() int  { return cs.local }
+func (cs *ConnState) Remote() int { return cs.remote }
+
+// Announce notifies the peer's channel of a new incoming message. Every TM
+// calls it before a message's first wire operation; only the first call per
+// message has an effect. It models the receiver's connection-polling loop
+// observing the first packet, so it carries no extra wire cost.
+func (cs *ConnState) Announce() {
+	if cs.announced {
+		return
+	}
+	cs.announced = true
+	peer := cs.ch.sess.channelOn(cs.ch.name, cs.remote)
+	if peer == nil {
+		panic(fmt.Sprintf("core: channel %q missing on rank %d", cs.ch.name, cs.remote))
+	}
+	peer.incoming.Push(cs.local)
+}
+
+// sendBMM returns (creating lazily) the BMM instance for a send-side TM.
+func (cs *ConnState) sendBMM(tm TM) BMM {
+	if cs.sBMMs == nil {
+		cs.sBMMs = make(map[TM]BMM)
+	}
+	b := cs.sBMMs[tm]
+	if b == nil {
+		b = tm.NewBMM(cs)
+		cs.sBMMs[tm] = b
+	}
+	return b
+}
+
+// recvBMM returns (creating lazily) the BMM instance for a receive-side TM.
+func (cs *ConnState) recvBMM(tm TM) BMM {
+	if cs.rBMMs == nil {
+		cs.rBMMs = make(map[TM]BMM)
+	}
+	b := cs.rBMMs[tm]
+	if b == nil {
+		b = tm.NewBMM(cs)
+		cs.rBMMs[tm] = b
+	}
+	return b
+}
+
+// Connection is the user handle returned by BeginPacking/BeginUnpacking:
+// one in-construction (or in-extraction) message on one connection.
+type Connection struct {
+	cs      *ConnState
+	actor   *vclock.Actor
+	sending bool
+	open    bool
+}
+
+// Remote reports the peer rank of the connection.
+func (cn *Connection) Remote() int { return cn.cs.remote }
+
+// Actor exposes the thread-of-control clock driving the connection.
+func (cn *Connection) Actor() *vclock.Actor { return cn.actor }
+
+// Channel returns the owning channel.
+func (cn *Connection) Channel() *Channel { return cn.cs.ch }
+
+// BeginPacking initiates a new message toward remote on the channel
+// (mad_begin_packing). The actor is the calling thread's virtual clock.
+func (c *Channel) BeginPacking(a *vclock.Actor, remote int) (*Connection, error) {
+	cs, err := c.conn(remote)
+	if err != nil {
+		return nil, err
+	}
+	cs.announced = false
+	cs.packed = false
+	return &Connection{cs: cs, actor: a, sending: true, open: true}, nil
+}
+
+// Pack appends one data block to the message (mad_pack). The block's
+// length and mode combination steer the Switch step's TM selection; the
+// matching Unpack must use the same length and modes (§2.2).
+func (cn *Connection) Pack(data []byte, sm SendMode, rm RecvMode) error {
+	if !cn.open || !cn.sending {
+		return ErrBadState
+	}
+	cs := cn.cs
+	tm := cs.ch.pmm.Select(len(data), sm, rm)
+	// Switch step: changing TM flushes the previous BMM to keep the wire
+	// order identical to the pack order (§4.1).
+	if cs.sTM != nil && cs.sTM != tm {
+		if err := cs.sendBMM(cs.sTM).Commit(cn.actor); err != nil {
+			return err
+		}
+		cs.ch.stats.add(func(s *ChannelStats) { s.Commits++ })
+	}
+	cs.sTM = tm
+	cs.packed = true
+	cs.ch.stats.packed(tm.Name(), len(data))
+	cn.actor.Advance(model.MadPackCost)
+	return cs.sendBMM(tm).Pack(cn.actor, data, sm, rm)
+}
+
+// EndPacking finalizes the message (mad_end_packing): every delayed block
+// is flushed to the network.
+func (cn *Connection) EndPacking() error {
+	if !cn.open || !cn.sending {
+		return ErrBadState
+	}
+	cn.open = false
+	cs := cn.cs
+	if !cs.packed {
+		return ErrEmptyMessage
+	}
+	if cs.sTM != nil {
+		if err := cs.sendBMM(cs.sTM).Commit(cn.actor); err != nil {
+			return err
+		}
+		cs.sTM = nil
+	}
+	if !cs.announced {
+		// Nothing reached the wire: LATER-only messages flush above, so
+		// this cannot happen with a conforming PMM.
+		return fmt.Errorf("core: message finished without wire traffic on %s", cs.ch.name)
+	}
+	cs.ch.stats.add(func(s *ChannelStats) { s.MessagesOut++ })
+	return nil
+}
+
+// BeginUnpacking starts the extraction of the first incoming message on
+// the channel (mad_begin_unpacking) and returns its connection.
+func (c *Channel) BeginUnpacking(a *vclock.Actor) (*Connection, error) {
+	remote, ok := c.incoming.Pop()
+	if !ok {
+		return nil, ErrClosed
+	}
+	cs, err := c.conn(remote)
+	if err != nil {
+		return nil, err
+	}
+	return &Connection{cs: cs, actor: a, sending: false, open: true}, nil
+}
+
+// Unpack extracts one data block into dst (mad_unpack). Length and modes
+// must mirror the sender's Pack exactly.
+func (cn *Connection) Unpack(dst []byte, sm SendMode, rm RecvMode) error {
+	if !cn.open || cn.sending {
+		return ErrBadState
+	}
+	cs := cn.cs
+	tm := cs.ch.pmm.Select(len(dst), sm, rm)
+	if cs.rTM != nil && cs.rTM != tm {
+		if err := cs.recvBMM(cs.rTM).Checkout(cn.actor); err != nil {
+			return err
+		}
+		cs.ch.stats.add(func(s *ChannelStats) { s.Checkouts++ })
+	}
+	cs.rTM = tm
+	cs.ch.stats.unpacked(len(dst))
+	// The per-block extraction cost (model.MadUnpackCost) is charged by
+	// the BMM when the block is actually extracted, so it lands after the
+	// data's arrival for deferred (receive_CHEAPER) blocks too.
+	return cs.recvBMM(tm).Unpack(cn.actor, dst, rm)
+}
+
+// EndUnpacking finalizes the reception (mad_end_unpacking): every deferred
+// block is extracted and available.
+func (cn *Connection) EndUnpacking() error {
+	if !cn.open || cn.sending {
+		return ErrBadState
+	}
+	cn.open = false
+	cs := cn.cs
+	if cs.rTM != nil {
+		if err := cs.recvBMM(cs.rTM).Checkout(cn.actor); err != nil {
+			return err
+		}
+		cs.rTM = nil
+	}
+	cs.ch.stats.add(func(s *ChannelStats) { s.MessagesIn++ })
+	return nil
+}
+
+// UsesStatic reports whether n-byte CHEAPER blocks travel through a
+// static-buffer transmission module on this channel; the forwarding layer
+// uses it to decide whether a gateway hand-off can avoid its copy (§6.1).
+func (c *Channel) UsesStatic(n int) bool {
+	return c.pmm.Select(n, SendCheaper, ReceiveCheaper).StaticSize() > 0
+}

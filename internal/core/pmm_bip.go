@@ -1,0 +1,217 @@
+package core
+
+import (
+	"fmt"
+
+	"madeleine2/internal/bip"
+	"madeleine2/internal/model"
+	"madeleine2/internal/simnet"
+	"madeleine2/internal/vclock"
+)
+
+// bipPMM is the BIP/Myrinet protocol module (§5.2.2): a short-message TM
+// running credit-based flow control over BIP's preallocated buffers, and a
+// long-message TM using BIP's receiver-acknowledgment rendezvous.
+type bipPMM struct {
+	iface   *bip.Interface
+	dataTag int
+	ctrlTag int
+	short   *bipShortTM
+	long    *bipLongTM
+}
+
+// bipShortTMCost is the short TM's per-buffer library cost (credit
+// bookkeeping, header handling), charged on each side; together with the
+// pack/unpack costs it accounts for the raw 5 µs → Madeleine 7 µs latency
+// delta of §5.2.2.
+var bipShortTMCost = vclock.Micros(0.5)
+
+// creditBatch is how many consumed buffers the receiver accumulates before
+// returning credits.
+const creditBatch = bip.ShortBufs / 2
+
+func newBIPPMM(node *simnet.Node, adapter, chanID int) (PMM, error) {
+	iface, err := bip.Attach(node, adapter)
+	if err != nil {
+		return nil, err
+	}
+	p := &bipPMM{iface: iface, dataTag: chanID * 2, ctrlTag: chanID*2 + 1}
+	p.short = &bipShortTM{p: p}
+	p.long = &bipLongTM{p: p}
+	return p, nil
+}
+
+func (p *bipPMM) Name() string { return "bip" }
+
+func (p *bipPMM) Select(n int, sm SendMode, rm RecvMode) TM {
+	if n < bip.ShortMax {
+		return p.short
+	}
+	return p.long
+}
+
+func (p *bipPMM) Link(n int) model.Link {
+	if n < bip.ShortMax {
+		l := model.BIPShort
+		l.Fixed += bipShortTMCost
+		return l
+	}
+	l := model.BIPLong
+	l.Fixed += 2 * model.BIPControl.Time(0) // the rendezvous round-trip
+	return l
+}
+
+// bipConn is the per-connection BIP state.
+type bipConn struct {
+	credits  int // short-send credits toward the peer
+	consumed int // short buffers consumed since the last credit return
+}
+
+func (p *bipPMM) PreConnect(cs *ConnState) error {
+	cs.Priv = &bipConn{credits: bip.ShortBufs}
+	return nil
+}
+
+func (p *bipPMM) Connect(cs *ConnState) error { return nil }
+
+func bipState(cs *ConnState) *bipConn { return cs.Priv.(*bipConn) }
+
+// --- short-message TM ---
+
+type bipShortTM struct{ p *bipPMM }
+
+func (t *bipShortTM) Name() string { return "bip-short" }
+
+func (t *bipShortTM) Link(n int) model.Link {
+	l := model.BIPShort
+	l.Fixed += bipShortTMCost
+	return l
+}
+
+func (t *bipShortTM) NewBMM(cs *ConnState) BMM { return newStatCopy(t, cs) }
+
+func (t *bipShortTM) StaticSize() int { return bip.ShortMax - 1 }
+
+func (t *bipShortTM) ObtainStaticBuffer(a *vclock.Actor, cs *ConnState) ([]byte, error) {
+	return make([]byte, t.StaticSize()), nil
+}
+
+func (t *bipShortTM) SendBuffer(a *vclock.Actor, cs *ConnState, data []byte) error {
+	st := bipState(cs)
+	// Credit flow control: block for returned credits when exhausted, so
+	// the receiver's preallocated ring can never overrun (§5.2.2).
+	for st.credits == 0 {
+		msg, err := t.p.iface.TRecvShort(a, cs.Remote(), t.p.ctrlTag)
+		if err != nil {
+			return err
+		}
+		st.credits += int(msg[0])
+	}
+	cs.Announce()
+	a.Advance(bipShortTMCost)
+	if err := t.p.iface.TSendShort(a, cs.Remote(), t.p.dataTag, data); err != nil {
+		return err
+	}
+	st.credits--
+	return nil
+}
+
+func (t *bipShortTM) SendBufferGroup(a *vclock.Actor, cs *ConnState, group [][]byte) error {
+	for _, g := range group {
+		if err := t.SendBuffer(a, cs, g); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *bipShortTM) ReceiveStaticBuffer(a *vclock.Actor, cs *ConnState) ([]byte, error) {
+	buf, err := t.p.iface.TRecvShort(a, cs.Remote(), t.p.dataTag)
+	if err != nil {
+		return nil, err
+	}
+	a.Advance(bipShortTMCost)
+	return buf, nil
+}
+
+func (t *bipShortTM) ReleaseStaticBuffer(a *vclock.Actor, cs *ConnState, buf []byte) error {
+	st := bipState(cs)
+	st.consumed++
+	if st.consumed >= creditBatch {
+		if err := t.p.iface.TSendShort(a, cs.Remote(), t.p.ctrlTag, []byte{byte(st.consumed)}); err != nil {
+			return err
+		}
+		st.consumed = 0
+	}
+	return nil
+}
+
+func (t *bipShortTM) ReceiveBuffer(a *vclock.Actor, cs *ConnState, dst []byte) error {
+	return ErrNoStatic // the static-copy BMM owns this TM's receive path
+}
+
+func (t *bipShortTM) ReceiveSubBufferGroup(a *vclock.Actor, cs *ConnState, dsts [][]byte) error {
+	return ErrNoStatic
+}
+
+// --- long-message TM ---
+
+type bipLongTM struct{ p *bipPMM }
+
+func (t *bipLongTM) Name() string { return "bip-long" }
+
+func (t *bipLongTM) Link(n int) model.Link {
+	l := model.BIPLong
+	l.Fixed += 2 * model.BIPControl.Time(0)
+	return l
+}
+
+func (t *bipLongTM) NewBMM(cs *ConnState) BMM { return newEagerDyn(t, cs) }
+
+func (t *bipLongTM) StaticSize() int { return 0 }
+
+func (t *bipLongTM) SendBuffer(a *vclock.Actor, cs *ConnState, data []byte) error {
+	cs.Announce()
+	return t.p.iface.TSendLong(a, cs.Remote(), t.p.dataTag, data)
+}
+
+func (t *bipLongTM) SendBufferGroup(a *vclock.Actor, cs *ConnState, group [][]byte) error {
+	for _, g := range group {
+		if err := t.SendBuffer(a, cs, g); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *bipLongTM) ReceiveBuffer(a *vclock.Actor, cs *ConnState, dst []byte) error {
+	n, err := t.p.iface.TRecvLong(a, cs.Remote(), t.p.dataTag, dst)
+	if err != nil {
+		return err
+	}
+	if n != len(dst) {
+		return asymmetryError(fmt.Sprintf("bip long block on %s", cs.ch.name), n, len(dst))
+	}
+	return nil
+}
+
+func (t *bipLongTM) ReceiveSubBufferGroup(a *vclock.Actor, cs *ConnState, dsts [][]byte) error {
+	for _, d := range dsts {
+		if err := t.ReceiveBuffer(a, cs, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *bipLongTM) ObtainStaticBuffer(a *vclock.Actor, cs *ConnState) ([]byte, error) {
+	return nil, ErrNoStatic
+}
+
+func (t *bipLongTM) ReceiveStaticBuffer(a *vclock.Actor, cs *ConnState) ([]byte, error) {
+	return nil, ErrNoStatic
+}
+
+func (t *bipLongTM) ReleaseStaticBuffer(a *vclock.Actor, cs *ConnState, buf []byte) error {
+	return ErrNoStatic
+}

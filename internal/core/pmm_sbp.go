@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+
+	"madeleine2/internal/model"
+	"madeleine2/internal/sbp"
+	"madeleine2/internal/simnet"
+	"madeleine2/internal/vclock"
+)
+
+// sbpPMM is the SBP protocol module: the paper's canonical static-buffer
+// interface (§6.1) — user data must be written into kernel-provided static
+// buffers on the sending side, and arrives in kernel static buffers on the
+// receiving side. A single TM with the static-copy BMM.
+type sbpPMM struct {
+	ep   *sbp.Endpoint
+	lane int
+	tm   *sbpTM
+}
+
+func newSBPPMM(node *simnet.Node, adapter, chanID int) (PMM, error) {
+	ep, err := sbp.Attach(node, adapter)
+	if err != nil {
+		return nil, err
+	}
+	p := &sbpPMM{ep: ep, lane: chanID}
+	p.tm = &sbpTM{p: p}
+	return p, nil
+}
+
+func (p *sbpPMM) Name() string                              { return "sbp" }
+func (p *sbpPMM) Select(n int, sm SendMode, rm RecvMode) TM { return p.tm }
+func (p *sbpPMM) Link(n int) model.Link                     { return model.SBP }
+func (p *sbpPMM) PreConnect(cs *ConnState) error {
+	cs.Priv = &sbpConn{bufs: map[*byte]*sbp.Buf{}}
+	return nil
+}
+func (p *sbpPMM) Connect(cs *ConnState) error { return nil }
+
+// sbpConn maps outstanding static buffer payloads back to their kernel
+// buffers.
+type sbpConn struct {
+	bufs map[*byte]*sbp.Buf
+}
+
+type sbpTM struct{ p *sbpPMM }
+
+func (t *sbpTM) Name() string             { return "sbp" }
+func (t *sbpTM) Link(n int) model.Link    { return model.SBP }
+func (t *sbpTM) NewBMM(cs *ConnState) BMM { return newStatCopy(t, cs) }
+func (t *sbpTM) StaticSize() int          { return sbp.BufSize }
+
+func sbpState(cs *ConnState) *sbpConn { return cs.Priv.(*sbpConn) }
+
+func (t *sbpTM) track(cs *ConnState, b *sbp.Buf) []byte {
+	data := b.Bytes()
+	sbpState(cs).bufs[&data[0]] = b
+	return data
+}
+
+func (t *sbpTM) lookup(cs *ConnState, data []byte) (*sbp.Buf, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("core: empty sbp buffer")
+	}
+	st := sbpState(cs)
+	b := st.bufs[&data[0]]
+	if b == nil {
+		return nil, fmt.Errorf("core: sbp payload does not belong to a kernel static buffer")
+	}
+	delete(st.bufs, &data[0])
+	return b, nil
+}
+
+func (t *sbpTM) ObtainStaticBuffer(a *vclock.Actor, cs *ConnState) ([]byte, error) {
+	return t.track(cs, t.p.ep.ObtainBuffer()), nil
+}
+
+func (t *sbpTM) SendBuffer(a *vclock.Actor, cs *ConnState, data []byte) error {
+	b, err := t.lookup(cs, data)
+	if err != nil {
+		return err
+	}
+	cs.Announce()
+	return t.p.ep.Send(a, cs.Remote(), t.p.lane, b, len(data))
+}
+
+func (t *sbpTM) SendBufferGroup(a *vclock.Actor, cs *ConnState, group [][]byte) error {
+	for _, g := range group {
+		if err := t.SendBuffer(a, cs, g); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *sbpTM) ReceiveStaticBuffer(a *vclock.Actor, cs *ConnState) ([]byte, error) {
+	b, n, err := t.p.ep.Recv(a, cs.Remote(), t.p.lane)
+	if err != nil {
+		return nil, err
+	}
+	return t.track(cs, b)[:n], nil
+}
+
+func (t *sbpTM) ReleaseStaticBuffer(a *vclock.Actor, cs *ConnState, buf []byte) error {
+	b, err := t.lookup(cs, buf)
+	if err != nil {
+		return err
+	}
+	t.p.ep.Release(b)
+	return nil
+}
+
+func (t *sbpTM) ReceiveBuffer(a *vclock.Actor, cs *ConnState, dst []byte) error {
+	return ErrNoStatic
+}
+
+func (t *sbpTM) ReceiveSubBufferGroup(a *vclock.Actor, cs *ConnState, dsts [][]byte) error {
+	return ErrNoStatic
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"madeleine2/internal/model"
+	"madeleine2/internal/simnet"
+	"madeleine2/internal/tcpnet"
+	"madeleine2/internal/vclock"
+)
+
+// tcpPMM is the TCP protocol module: a single dynamic-buffer TM with an
+// aggregating BMM — grouped buffers leave in one kernel send (the writev
+// idiom), which amortizes the kernel's large per-message cost.
+type tcpPMM struct {
+	ep   *tcpnet.Endpoint
+	port int
+	tm   *tcpTM
+}
+
+func newTCPPMM(node *simnet.Node, adapter, chanID int) (PMM, error) {
+	ep, err := tcpnet.Attach(node, adapter)
+	if err != nil {
+		return nil, err
+	}
+	p := &tcpPMM{ep: ep, port: chanID}
+	p.tm = &tcpTM{p: p}
+	return p, nil
+}
+
+func (p *tcpPMM) Name() string                              { return "tcp" }
+func (p *tcpPMM) Select(n int, sm SendMode, rm RecvMode) TM { return p.tm }
+func (p *tcpPMM) Link(n int) model.Link                     { return model.TCPFE }
+func (p *tcpPMM) PreConnect(cs *ConnState) error            { cs.Priv = &tcpConn{}; return nil }
+func (p *tcpPMM) Connect(cs *ConnState) error               { return nil }
+
+// tcpConn keeps the receive-side residue of a partially consumed kernel
+// message (a group read in several sub-group calls).
+type tcpConn struct {
+	residue []byte
+}
+
+type tcpTM struct{ p *tcpPMM }
+
+func (t *tcpTM) Name() string             { return "tcp" }
+func (t *tcpTM) Link(n int) model.Link    { return model.TCPFE }
+func (t *tcpTM) NewBMM(cs *ConnState) BMM { return newAggrDyn(t, cs) }
+func (t *tcpTM) StaticSize() int          { return 0 }
+
+func (t *tcpTM) SendBuffer(a *vclock.Actor, cs *ConnState, data []byte) error {
+	cs.Announce()
+	return t.p.ep.Send(a, cs.Remote(), t.p.port, data)
+}
+
+func (t *tcpTM) SendBufferGroup(a *vclock.Actor, cs *ConnState, group [][]byte) error {
+	total := 0
+	for _, g := range group {
+		total += len(g)
+	}
+	msg := make([]byte, 0, total)
+	for _, g := range group {
+		msg = append(msg, g...)
+	}
+	cs.Announce()
+	return t.p.ep.Send(a, cs.Remote(), t.p.port, msg)
+}
+
+// fill consumes n bytes from the connection's incoming stream into dst.
+func (t *tcpTM) fill(a *vclock.Actor, cs *ConnState, dst []byte) error {
+	st := cs.Priv.(*tcpConn)
+	for len(dst) > 0 {
+		if len(st.residue) == 0 {
+			msg, err := t.p.ep.Recv(a, cs.Remote(), t.p.port)
+			if err != nil {
+				return err
+			}
+			st.residue = msg
+		}
+		n := copy(dst, st.residue)
+		st.residue = st.residue[n:]
+		dst = dst[n:]
+	}
+	return nil
+}
+
+func (t *tcpTM) ReceiveBuffer(a *vclock.Actor, cs *ConnState, dst []byte) error {
+	return t.fill(a, cs, dst)
+}
+
+func (t *tcpTM) ReceiveSubBufferGroup(a *vclock.Actor, cs *ConnState, dsts [][]byte) error {
+	for _, d := range dsts {
+		if err := t.fill(a, cs, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *tcpTM) ObtainStaticBuffer(a *vclock.Actor, cs *ConnState) ([]byte, error) {
+	return nil, ErrNoStatic
+}
+
+func (t *tcpTM) ReceiveStaticBuffer(a *vclock.Actor, cs *ConnState) ([]byte, error) {
+	return nil, ErrNoStatic
+}
+
+func (t *tcpTM) ReleaseStaticBuffer(a *vclock.Actor, cs *ConnState, buf []byte) error {
+	return ErrNoStatic
+}

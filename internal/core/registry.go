@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"madeleine2/internal/bip"
+	"madeleine2/internal/sbp"
+	"madeleine2/internal/simnet"
+	"madeleine2/internal/sisci"
+	"madeleine2/internal/tcpnet"
+	"madeleine2/internal/via"
+)
+
+// DriverDef is an externally registered protocol module — the mechanism
+// behind optional Madeleine modules such as the MPI port ("Madeleine II
+// has also been ported quite straightforwardly on top of MPI", §5.3).
+type DriverDef struct {
+	// Name is the ChannelSpec.Driver value selecting the module.
+	Name string
+	// Probe reports whether a node can host the module (membership
+	// detection for ChannelSpec.Nodes == nil).
+	Probe func(node *simnet.Node, adapter int) error
+	// New instantiates the module for one channel on one node.
+	New func(node *simnet.Node, adapter, chanID int) (PMM, error)
+}
+
+var (
+	extMu      sync.Mutex
+	extDrivers = map[string]DriverDef{}
+)
+
+// RegisterDriver installs an external protocol module. Built-in names
+// cannot be shadowed.
+func RegisterDriver(d DriverDef) error {
+	if d.Name == "" || d.New == nil || d.Probe == nil {
+		return fmt.Errorf("core: incomplete driver definition %q", d.Name)
+	}
+	if _, err := networkFor(d.Name); err == nil {
+		return fmt.Errorf("core: driver %q would shadow a built-in module", d.Name)
+	}
+	extMu.Lock()
+	defer extMu.Unlock()
+	if _, dup := extDrivers[d.Name]; dup {
+		return fmt.Errorf("core: driver %q already registered", d.Name)
+	}
+	extDrivers[d.Name] = d
+	return nil
+}
+
+// UnregisterDriver removes an external module (tests and teardown).
+func UnregisterDriver(name string) {
+	extMu.Lock()
+	defer extMu.Unlock()
+	delete(extDrivers, name)
+}
+
+// externalDriver looks an external module up.
+func externalDriver(name string) (DriverDef, bool) {
+	extMu.Lock()
+	defer extMu.Unlock()
+	d, ok := extDrivers[name]
+	return d, ok
+}
+
+// externalNames lists registered external modules, sorted.
+func externalNames() []string {
+	extMu.Lock()
+	defer extMu.Unlock()
+	var out []string
+	for n := range extDrivers {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Drivers lists the protocol modules the library supports, matching the
+// paper's "it currently runs on top of BIP, SISCI, TCP, VIA" (§7) plus the
+// SBP static-buffer protocol of §6.1. "sisci-dma" selects the SISCI PMM
+// with its (normally disabled) DMA transmission module active;
+// "sisci-nodual" disables the adaptive dual-buffering TM (ablation).
+func Drivers() []string {
+	builtin := []string{"bip", "sisci", "sisci-dma", "sisci-nodual", "tcp", "via", "sbp"}
+	return append(builtin, externalNames()...)
+}
+
+// networkFor maps a driver name to its fabric name.
+func networkFor(driver string) (string, error) {
+	switch driver {
+	case "bip":
+		return bip.Network, nil
+	case "sisci", "sisci-dma", "sisci-nodual":
+		return sisci.Network, nil
+	case "tcp":
+		return tcpnet.Network, nil
+	case "via":
+		return via.Network, nil
+	case "sbp":
+		return sbp.Network, nil
+	default:
+		return "", fmt.Errorf("core: unknown driver %q (have %v)", driver, Drivers())
+	}
+}
+
+// newPMM instantiates the protocol module for a channel on one node.
+func newPMM(driver string, node *simnet.Node, adapter, chanID int) (PMM, error) {
+	switch driver {
+	case "bip":
+		return newBIPPMM(node, adapter, chanID)
+	case "sisci":
+		return newSISCIPMM(node, adapter, chanID, false, false)
+	case "sisci-dma":
+		return newSISCIPMM(node, adapter, chanID, true, false)
+	case "sisci-nodual":
+		return newSISCIPMM(node, adapter, chanID, false, true)
+	case "tcp":
+		return newTCPPMM(node, adapter, chanID)
+	case "via":
+		return newVIAPMM(node, adapter, chanID)
+	case "sbp":
+		return newSBPPMM(node, adapter, chanID)
+	default:
+		if d, ok := externalDriver(driver); ok {
+			return d.New(node, adapter, chanID)
+		}
+		_, err := networkFor(driver)
+		return nil, err
+	}
+}
+
+// newPMMProbe reports whether the node could host the driver (it has the
+// adapter), without instantiating anything.
+func newPMMProbe(driver string, node *simnet.Node, adapter int) (string, error) {
+	if d, ok := externalDriver(driver); ok {
+		if err := d.Probe(node, adapter); err != nil {
+			return "", err
+		}
+		return driver, nil
+	}
+	net, err := networkFor(driver)
+	if err != nil {
+		return "", err
+	}
+	if _, err := node.Adapter(net, adapter); err != nil {
+		return "", err
+	}
+	return net, nil
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"madeleine2/internal/simnet"
+)
+
+// Session is one Madeleine II run over a simulated cluster: the set of
+// processes (one per node) and the channels they share. Channel creation is
+// collective, as in the real library's configuration step.
+type Session struct {
+	world *simnet.World
+
+	mu       sync.Mutex
+	channels map[chanKey]*Channel
+	nextID   int
+}
+
+type chanKey struct {
+	name string
+	rank int
+}
+
+// NewSession starts a session spanning every node of the world.
+func NewSession(w *simnet.World) *Session {
+	return &Session{world: w, channels: make(map[chanKey]*Channel)}
+}
+
+// World returns the session's cluster.
+func (s *Session) World() *simnet.World { return s.world }
+
+// ChannelSpec describes a channel to create: a closed world of
+// communication bound to one network interface and one adapter (§2.1).
+type ChannelSpec struct {
+	// Name identifies the channel session-wide.
+	Name string
+	// Driver selects the protocol module: "bip", "sisci", "tcp", "via",
+	// "sbp". The special driver "sisci-dma" is the SISCI PMM with its DMA
+	// transmission module enabled (off by default, §5.2.1).
+	Driver string
+	// Adapter is the per-node adapter index on the driver's network.
+	Adapter int
+	// Nodes lists the member ranks; nil means every node that has an
+	// adapter on the driver's network (a cluster-of-clusters session has
+	// per-network subsets).
+	Nodes []int
+}
+
+// NewChannel collectively creates a channel on every member process and
+// returns the per-rank channel handles (indexed by rank; non-members are
+// nil). Connections between every member pair are established eagerly,
+// like the real library's session configuration.
+func (s *Session) NewChannel(spec ChannelSpec) (map[int]*Channel, error) {
+	s.mu.Lock()
+	id := s.nextID
+	s.nextID++
+	s.mu.Unlock()
+
+	members := spec.Nodes
+	if members == nil {
+		for r := 0; r < s.world.Size(); r++ {
+			if _, err := newPMMProbe(spec.Driver, s.world.Node(r), spec.Adapter); err == nil {
+				members = append(members, r)
+			}
+		}
+	}
+	if len(members) < 2 {
+		return nil, fmt.Errorf("core: channel %q needs at least two member nodes, have %v", spec.Name, members)
+	}
+
+	chans := make(map[int]*Channel, len(members))
+	for _, r := range members {
+		pmm, err := newPMM(spec.Driver, s.world.Node(r), spec.Adapter, id)
+		if err != nil {
+			return nil, fmt.Errorf("core: channel %q on rank %d: %w", spec.Name, r, err)
+		}
+		ch := &Channel{
+			sess:     s,
+			name:     spec.Name,
+			id:       id,
+			rank:     r,
+			pmm:      pmm,
+			members:  append([]int(nil), members...),
+			incoming: simnet.NewQueue[int](),
+			conns:    make(map[int]*ConnState),
+		}
+		chans[r] = ch
+		s.mu.Lock()
+		if _, dup := s.channels[chanKey{spec.Name, r}]; dup {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("core: duplicate channel name %q on rank %d", spec.Name, r)
+		}
+		s.channels[chanKey{spec.Name, r}] = ch
+		s.mu.Unlock()
+	}
+
+	// Two-phase connection bootstrap: every receiver-side resource first
+	// (segments, VI mirrors, pre-posted descriptors), then the sender-side
+	// attachments.
+	for _, r := range members {
+		for _, peer := range members {
+			if peer == r {
+				continue
+			}
+			cs := &ConnState{ch: chans[r], local: r, remote: peer}
+			chans[r].conns[peer] = cs
+			if err := chans[r].pmm.(preconnector).PreConnect(cs); err != nil {
+				return nil, fmt.Errorf("core: channel %q preconnect %d->%d: %w", spec.Name, r, peer, err)
+			}
+		}
+	}
+	for _, r := range members {
+		for _, peer := range members {
+			if peer == r {
+				continue
+			}
+			if err := chans[r].pmm.Connect(chans[r].conns[peer]); err != nil {
+				return nil, fmt.Errorf("core: channel %q connect %d->%d: %w", spec.Name, r, peer, err)
+			}
+		}
+	}
+	return chans, nil
+}
+
+// channelOn resolves the channel instance of the given name on a rank.
+func (s *Session) channelOn(name string, rank int) *Channel {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.channels[chanKey{name, rank}]
+}
+
+// preconnector is the two-phase bootstrap hook every PMM implements.
+type preconnector interface {
+	PreConnect(cs *ConnState) error
+}

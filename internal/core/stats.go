@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ChannelStats is a snapshot of a channel's traffic accounting on one
+// process: messages, blocks and bytes per direction, Switch-step flush
+// counts, and the per-transmission-module block histogram that shows which
+// transfer methods the selection mechanism actually used.
+type ChannelStats struct {
+	MessagesOut, MessagesIn int64
+	BlocksOut, BlocksIn     int64
+	BytesOut, BytesIn       int64
+	Commits, Checkouts      int64 // Switch-step flushes (TM changes)
+	TMBlocks                map[string]int64
+}
+
+// String renders the snapshot compactly.
+func (s ChannelStats) String() string {
+	var tms []string
+	for name, n := range s.TMBlocks {
+		tms = append(tms, fmt.Sprintf("%s:%d", name, n))
+	}
+	sort.Strings(tms)
+	return fmt.Sprintf("out %d msgs/%d blocks/%d B, in %d msgs/%d blocks/%d B, switches %d/%d, tm {%s}",
+		s.MessagesOut, s.BlocksOut, s.BytesOut,
+		s.MessagesIn, s.BlocksIn, s.BytesIn,
+		s.Commits, s.Checkouts, strings.Join(tms, " "))
+}
+
+// chanStats is the channel's live accounting.
+type chanStats struct {
+	mu sync.Mutex
+	s  ChannelStats
+}
+
+func (cs *chanStats) packed(tm string, n int) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cs.s.BlocksOut++
+	cs.s.BytesOut += int64(n)
+	if cs.s.TMBlocks == nil {
+		cs.s.TMBlocks = make(map[string]int64)
+	}
+	cs.s.TMBlocks[tm]++
+}
+
+func (cs *chanStats) unpacked(n int) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cs.s.BlocksIn++
+	cs.s.BytesIn += int64(n)
+}
+
+func (cs *chanStats) add(f func(*ChannelStats)) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	f(&cs.s)
+}
+
+// Stats snapshots the channel's accounting.
+func (c *Channel) Stats() ChannelStats {
+	c.stats.mu.Lock()
+	defer c.stats.mu.Unlock()
+	out := c.stats.s
+	out.TMBlocks = make(map[string]int64, len(c.stats.s.TMBlocks))
+	for k, v := range c.stats.s.TMBlocks {
+		out.TMBlocks[k] = v
+	}
+	return out
+}

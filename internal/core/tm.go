@@ -1,0 +1,104 @@
+package core
+
+import (
+	"madeleine2/internal/model"
+	"madeleine2/internal/vclock"
+)
+
+// TM is a Transmission Module: the encapsulation of one transfer method of
+// one network interface (Table 2 of the paper). A protocol module usually
+// contributes several TMs — e.g. BIP's short-message and long-message
+// paths, or SISCI's short-PIO, regular-PIO/dual-buffering and DMA modes —
+// and the Switch step picks among them per packed block.
+type TM interface {
+	// Name identifies the TM (e.g. "bip-long", "sisci-short").
+	Name() string
+
+	// Link summarizes the TM's one-way cost for an n-byte buffer. The
+	// inter-device forwarding layer feeds it to the gateway's PCI-bus
+	// arbiter; reports print it.
+	Link(n int) model.Link
+
+	// NewBMM returns a fresh instance of the buffer-management policy this
+	// TM works best with ("The selected TM determines the optimal Buffer
+	// Management Module", §4.1), bound to one connection direction.
+	NewBMM(cs *ConnState) BMM
+
+	// SendBuffer transmits one buffer on the connection.
+	SendBuffer(a *vclock.Actor, cs *ConnState, data []byte) error
+
+	// SendBufferGroup transmits a group of buffers, exploiting
+	// scatter/gather capabilities where the protocol has them.
+	SendBufferGroup(a *vclock.Actor, cs *ConnState, group [][]byte) error
+
+	// ReceiveBuffer fills dst with the next incoming buffer.
+	ReceiveBuffer(a *vclock.Actor, cs *ConnState, dst []byte) error
+
+	// ReceiveSubBufferGroup fills a (sub-)group of destination buffers
+	// from the incoming stream.
+	ReceiveSubBufferGroup(a *vclock.Actor, cs *ConnState, dsts [][]byte) error
+
+	// ObtainStaticBuffer returns an empty protocol-level buffer for the
+	// static-copy BMM to fill, or ErrNoStatic for dynamic-buffer TMs.
+	ObtainStaticBuffer(a *vclock.Actor, cs *ConnState) ([]byte, error)
+
+	// ReceiveStaticBuffer returns the next incoming protocol-level buffer
+	// (its exact valid prefix), or ErrNoStatic for dynamic-buffer TMs.
+	ReceiveStaticBuffer(a *vclock.Actor, cs *ConnState) ([]byte, error)
+
+	// ReleaseStaticBuffer returns a buffer obtained from
+	// ObtainStaticBuffer/ReceiveStaticBuffer to the protocol (freeing the
+	// receive ring slot, returning flow-control credit, ...).
+	ReleaseStaticBuffer(a *vclock.Actor, cs *ConnState, buf []byte) error
+
+	// StaticSize reports the protocol buffer payload capacity, or 0 for
+	// dynamic-buffer TMs.
+	StaticSize() int
+}
+
+// PMM is a Protocol Management Module: one per supported network interface
+// (§3.3). It groups the interface's TMs, implements the per-connection
+// bootstrap, and performs the Switch step's TM selection.
+type PMM interface {
+	// Name identifies the protocol (e.g. "bip", "sisci").
+	Name() string
+
+	// Select returns the best TM for an n-byte block packed with the given
+	// mode combination — the library's "most-efficient transfer-method
+	// selection mechanism" (§7).
+	Select(n int, sm SendMode, rm RecvMode) TM
+
+	// Link summarizes the protocol's best-TM one-way cost for n bytes.
+	Link(n int) model.Link
+
+	// Connect performs per-connection setup (segments, VI pairs, tags,
+	// descriptor pre-posting) for the connection state.
+	Connect(cs *ConnState) error
+}
+
+// BMM is a Buffer Management Module instance bound to one connection
+// direction (§3.4): a generic, protocol-independent buffer handling policy.
+// Instances are created by the TM that selected them and keep the delayed
+// state between Pack/Unpack calls and the Commit/Checkout flushes.
+type BMM interface {
+	// Name identifies the policy (e.g. "dyn-eager", "static-copy").
+	Name() string
+
+	// Pack hands one user block to the policy. Depending on the policy and
+	// the modes it is sent immediately, queued for aggregation, or copied
+	// into a protocol static buffer.
+	Pack(a *vclock.Actor, data []byte, sm SendMode, rm RecvMode) error
+
+	// Commit flushes every delayed block to the TM. It runs when the
+	// Switch step changes TM and at EndPacking (§4.1).
+	Commit(a *vclock.Actor) error
+
+	// Unpack hands one destination block to the policy. ReceiveExpress
+	// forces completion before return; ReceiveCheaper may defer extraction
+	// until Checkout.
+	Unpack(a *vclock.Actor, dst []byte, rm RecvMode) error
+
+	// Checkout completes every deferred extraction. It runs when the
+	// Switch step changes TM and at EndUnpacking (§4.2).
+	Checkout(a *vclock.Actor) error
+}

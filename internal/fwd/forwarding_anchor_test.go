@@ -1,0 +1,112 @@
+package fwd
+
+import (
+	"fmt"
+	"testing"
+
+	"madeleine2/internal/vclock"
+)
+
+// fwdBandwidth measures the steady forwarding bandwidth of an m-byte
+// message through the gateway with the given MTU and direction.
+func fwdBandwidth(t *testing.T, mtu, msgBytes int, sciToMyri bool, spec func(Spec) Spec) float64 {
+	t.Helper()
+	sess := twoClusters(t)
+	s := sciMyriSpec(fmt.Sprintf("f%v-%d", sciToMyri, mtu), mtu)
+	if spec != nil {
+		s = spec(s)
+	}
+	vcs := newVC(t, sess, s)
+	src, dst := 0, 4
+	if !sciToMyri {
+		src, dst = 4, 0
+	}
+	d := oneWay(t, vcs, src, dst, msgBytes)
+	return vclock.MBps(msgBytes, d)
+}
+
+func TestFig10ForwardingAnchors(t *testing.T) {
+	// Fig. 10 (SCI→Myrinet): 36.5 MB/s with 8 kB packets; >45 MB/s for
+	// larger packets, close to 50 MB/s for 128 kB; monotone in packet size.
+	const msg = 2 << 20
+	bw8 := fwdBandwidth(t, 8<<10, msg, true, nil)
+	if bw8 < 33 || bw8 > 40 {
+		t.Errorf("Fig10 8kB packets: %.1f MB/s, want ≈36.5", bw8)
+	}
+	prev := 0.0
+	var bw128 float64
+	for _, kb := range []int{8, 16, 32, 64, 128} {
+		bw := fwdBandwidth(t, kb<<10, msg, true, nil)
+		if bw < prev*0.98 {
+			t.Errorf("Fig10 series not monotone at %d kB: %.1f after %.1f", kb, bw, prev)
+		}
+		if kb >= 16 && bw < 41 {
+			t.Errorf("Fig10 %d kB packets: %.1f MB/s, want > 45-ish", kb, bw)
+		}
+		prev, bw128 = bw, bw
+	}
+	if bw128 < 46 || bw128 > 53 {
+		t.Errorf("Fig10 128kB packets: %.1f MB/s, want ≈49.5", bw128)
+	}
+	// The PCI ceiling quoted by the paper bounds everything.
+	if bw128 > 66 {
+		t.Errorf("forwarding bandwidth %.1f exceeds the 66 MB/s PCI ceiling", bw128)
+	}
+}
+
+func TestFig11ForwardingAnchors(t *testing.T) {
+	// Fig. 11 (Myrinet→SCI): ≈29 MB/s with 8 kB packets; the asymptote
+	// "remains under 36.5 MB/s"; every point below the Fig. 10 series.
+	const msg = 2 << 20
+	bw8 := fwdBandwidth(t, 8<<10, msg, false, nil)
+	if bw8 < 24 || bw8 > 32 {
+		t.Errorf("Fig11 8kB packets: %.1f MB/s, want ≈29", bw8)
+	}
+	for _, kb := range []int{8, 16, 32, 64, 128} {
+		f11 := fwdBandwidth(t, kb<<10, msg, false, nil)
+		f10 := fwdBandwidth(t, kb<<10, msg, true, nil)
+		if f11 >= 36.5 {
+			t.Errorf("Fig11 %d kB: %.1f MB/s must remain under 36.5", kb, f11)
+		}
+		if f11 >= f10 {
+			t.Errorf("at %d kB: Myri→SCI %.1f must lag SCI→Myri %.1f", kb, f11, f10)
+		}
+	}
+}
+
+func TestBandwidthControlHelpsPIODirection(t *testing.T) {
+	// The paper's future work (§7): regulating the incoming flow on the
+	// gateway protects the outgoing PIO stream from the Myrinet DMA's bus
+	// priority. Throttling incoming Myrinet traffic just below the
+	// alternation threshold trades overlap for full-speed PIO sends and
+	// must BEAT the unthrottled Fig. 11 number at large packet sizes.
+	const msg = 2 << 20
+	base := fwdBandwidth(t, 128<<10, msg, false, nil)
+	ctl := fwdBandwidth(t, 128<<10, msg, false, func(s Spec) Spec {
+		s.BandwidthControl = 45
+		return s
+	})
+	if ctl <= base*1.1 {
+		t.Errorf("bandwidth control (%.1f MB/s) should clearly beat the unthrottled pipeline (%.1f MB/s)", ctl, base)
+	}
+	// Over-throttling must degrade toward the configured rate.
+	slow := fwdBandwidth(t, 128<<10, msg, false, func(s Spec) Spec {
+		s.BandwidthControl = 15
+		return s
+	})
+	if slow >= base {
+		t.Errorf("over-throttled pipeline (%.1f MB/s) cannot beat the baseline (%.1f MB/s)", slow, base)
+	}
+}
+
+func TestForwardingLatencyIsNotOptimized(t *testing.T) {
+	// §6.2.1: "low latency should not be expected from this design" — a
+	// small forwarded message pays both native latencies plus the gateway
+	// software overhead.
+	sess := twoClusters(t)
+	vcs := newVC(t, sess, sciMyriSpec("lat", 0))
+	lat := oneWay(t, vcs, 0, 4, 16)
+	if lat < vclock.Micros(55) {
+		t.Errorf("forwarded small-message latency %v is implausibly low", lat)
+	}
+}

@@ -1,0 +1,214 @@
+package fwd
+
+import (
+	"fmt"
+
+	"madeleine2/internal/core"
+	"madeleine2/internal/model"
+	"madeleine2/internal/simnet"
+	"madeleine2/internal/vclock"
+)
+
+// This file is the gateway side of the Generic TM (§6.1–§6.2): a receiver
+// daemon per (node, real channel) that either delivers packets locally or
+// hands them to a forwarding pipeline — two threads exchanging two static
+// buffers (dual-buffering, Fig. 9) — whose virtual-time behaviour follows
+// the paper's pipeline-period analysis:
+//
+//	period = max(T_recv, T_send_contended, busFloor) + stepOverhead
+//
+// T_recv arrives emergently through the incoming packets' stamps; the
+// send thread adds the per-step software overhead (≈50 µs, §6.2.2), the
+// PCI bus's full-duplex floor (§6.2.2) and the DMA-over-PIO penalty
+// (§6.2.3) through the node's bus model.
+
+// token is one of a pipeline's two forwarding buffers.
+type token struct {
+	buf   []byte
+	stamp vclock.Time // when the buffer was freed by the send thread
+}
+
+// workItem is a received packet waiting on the pipeline's send thread.
+type workItem struct {
+	hdr     header
+	payload []byte // aliases the token's buffer
+	tok     *token
+	stampIn vclock.Time // receive completion on the daemon's clock
+}
+
+// pipeline is one forwarding direction on a gateway: packets arriving on
+// segment inSeg leaving on segment outSeg.
+type pipeline struct {
+	v      *VC
+	inSeg  int
+	outSeg int
+	free   *simnet.Queue[*token]
+	work   *simnet.Queue[workItem]
+}
+
+// pipelineBuffers is the dual-buffering depth (Fig. 9 uses two).
+const pipelineBuffers = 2
+
+// pipe returns (creating and starting) the pipeline for a direction.
+func (v *VC) pipe(inSeg, outSeg int) *pipeline {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	key := [2]int{inSeg, outSeg}
+	p := v.pipes[key]
+	if p == nil {
+		p = &pipeline{
+			v:      v,
+			inSeg:  inSeg,
+			outSeg: outSeg,
+			free:   simnet.NewQueue[*token](),
+			work:   simnet.NewQueue[workItem](),
+		}
+		for i := 0; i < pipelineBuffers; i++ {
+			p.free.Push(&token{buf: make([]byte, v.mtu)})
+		}
+		v.pipes[key] = p
+		go p.run()
+	}
+	return p
+}
+
+// daemon serves one real channel of the virtual channel on this rank:
+// it reads each packet's self-description header express, then delivers
+// the payload locally or forwards it.
+func (v *VC) daemon(segIdx int, ch *core.Channel) {
+	a := vclock.NewActor(fmt.Sprintf("%s/n%d/seg%d-rx", v.name, v.rank, segIdx))
+	var throttleAt vclock.Time
+	for {
+		conn, err := ch.BeginUnpacking(a)
+		if err != nil {
+			return // channel closed
+		}
+		hb := make([]byte, hdrSize)
+		if err := conn.Unpack(hb, core.SendCheaper, core.ReceiveExpress); err != nil {
+			panic(fmt.Sprintf("fwd daemon %s: header: %v", a.Name(), err))
+		}
+		hdrAt := a.Now() // the packet's wire activity starts here
+		h, err := decodeHeader(hb)
+		if err != nil {
+			panic(fmt.Sprintf("fwd daemon %s: %v", a.Name(), err))
+		}
+		// The future-work bandwidth control: regulate the incoming flow by
+		// pacing payload receptions at the configured average rate (§7).
+		if v.spec.BandwidthControl > 0 {
+			throttleAt += vclock.TimeForBytes(h.Len, v.spec.BandwidthControl)
+			a.Sync(throttleAt)
+		}
+		if h.Len > v.mtu {
+			panic(fmt.Sprintf("fwd daemon %s: insane packet length %d (MTU %d) — corrupted header?", a.Name(), h.Len, v.mtu))
+		}
+		if h.Dst == v.rank {
+			payload := make([]byte, h.Len)
+			if err := conn.Unpack(payload, core.SendCheaper, core.ReceiveCheaper); err != nil {
+				panic(fmt.Sprintf("fwd daemon %s: payload: %v", a.Name(), err))
+			}
+			if err := conn.EndUnpacking(); err != nil {
+				panic(fmt.Sprintf("fwd daemon %s: end: %v", a.Name(), err))
+			}
+			if h.Flags&flagFirst != 0 {
+				v.msgStart.Push(h.Origin)
+			}
+			v.stream(h.Origin).q.Push(chunk{
+				data:    payload,
+				stamp:   a.Now(),
+				first:   h.Flags&flagFirst != 0,
+				corrupt: checksum(payload) != h.CRC,
+			})
+			continue
+		}
+		// Forwarding: resolve the outgoing segment and obtain one of the
+		// pipeline's two buffers (the dual-buffer exchange point).
+		hp, ok := v.next[h.Dst]
+		if !ok {
+			panic(fmt.Sprintf("fwd daemon %s: no route to %d", a.Name(), h.Dst))
+		}
+		p := v.pipe(segIdx, hp.seg)
+		tok, ok := p.free.Pop()
+		if !ok {
+			return // pipeline closed
+		}
+		a.Sync(tok.stamp)
+		if h.Len > len(tok.buf) {
+			panic(fmt.Sprintf("fwd daemon %s: packet %d exceeds MTU %d", a.Name(), h.Len, len(tok.buf)))
+		}
+		payload := tok.buf[:h.Len]
+		if err := conn.Unpack(payload, core.SendCheaper, core.ReceiveCheaper); err != nil {
+			panic(fmt.Sprintf("fwd daemon %s: payload: %v", a.Name(), err))
+		}
+		if err := conn.EndUnpacking(); err != nil {
+			panic(fmt.Sprintf("fwd daemon %s: end: %v", a.Name(), err))
+		}
+		// The incoming transfer's wire interval: from the header's arrival
+		// through the payload's byte time (the receive side of Fig. 9).
+		if checksum(payload) != h.CRC {
+			panic(fmt.Sprintf("fwd daemon %s: packet %d from %d failed its checksum mid-route", a.Name(), h.Seq, h.Origin))
+		}
+		v.spec.Trace.Record(a.Name(), hdrAt, hdrAt+ch.Link(h.Len).ByteTime(h.Len), "r")
+		p.work.Push(workItem{hdr: h, payload: payload, tok: tok, stampIn: a.Now()})
+	}
+}
+
+// run is the pipeline's send thread.
+func (p *pipeline) run() {
+	v := p.v
+	a := vclock.NewActor(fmt.Sprintf("%s/n%d/%d->%d-tx", v.name, v.rank, p.inSeg, p.outSeg))
+	bus := v.sess.World().Node(v.rank).Bus()
+	inCh, outCh := v.chans[p.inSeg], v.chans[p.outSeg]
+	var prevReady, prevSendEnd vclock.Time
+	for {
+		w, ok := p.work.Pop()
+		if !ok {
+			return
+		}
+		n := len(w.payload)
+		rxLink, txLink := inCh.Link(n), outCh.Link(n)
+
+		// A step is contended when packets arrive too densely for the
+		// pipeline to alternate receive and send: unless the incoming gap
+		// covers a full receive plus a full send, the two transfers
+		// overlap on the bus. Bandwidth control (§7) widens the incoming
+		// gap and is how the overlap is broken deliberately.
+		inGap := rxLink.Time(n)
+		if v.spec.BandwidthControl > 0 {
+			inGap = vclock.Max(inGap, vclock.TimeForBytes(n, v.spec.BandwidthControl))
+		}
+		contended := inGap < rxLink.Time(n)+txLink.Time(n)
+
+		ready := vclock.Max(w.stampIn, prevSendEnd)
+		if contended {
+			// Full-duplex PCI saturation: 2n bytes cross the bus per
+			// step, and the per-step software overhead stays serial.
+			ready = vclock.Max(ready, prevReady+bus.Floor(n)+model.GatewayStepOverhead)
+		}
+		a.Sync(ready)
+		a.Advance(model.GatewayStepOverhead) // buffer exchange + header processing
+
+		if contended {
+			// DMA-over-PIO arbitration: the send slows while the NIC is
+			// mastering the bus with the next packet's receive.
+			_, ttxEff := bus.StepTimes(rxLink, txLink, n)
+			if extra := ttxEff - txLink.Time(n); extra > 0 {
+				a.Advance(extra)
+			}
+		}
+		// Copy avoidance (§6.1): receiving into the outgoing protocol's
+		// static buffer saves the gateway copy except when both sides use
+		// static buffers (or the ablation forces the copy).
+		if v.spec.ForceGatewayCopy || (inCh.UsesStatic(n) && outCh.UsesStatic(n)) {
+			a.Advance(vclock.TimeForBytes(n, model.MadCopyBandwidth))
+		}
+
+		if err := sendPacketOn(outCh, a, v.next[w.hdr.Dst].next, w.hdr, w.payload); err != nil {
+			panic(fmt.Sprintf("fwd pipeline %s: %v", a.Name(), err))
+		}
+		v.spec.Trace.Record(a.Name(), ready, a.Now(), "s")
+		prevReady, prevSendEnd = ready, a.Now()
+
+		w.tok.stamp = a.Now()
+		p.free.Push(w.tok)
+	}
+}

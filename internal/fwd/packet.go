@@ -1,0 +1,76 @@
+// Package fwd implements Madeleine II's inter-device data-forwarding
+// extension for clusters of clusters (§6 of the paper): virtual channels
+// spanning sequences of real channels, a Generic Transmission Module that
+// makes messages self-described and fragments them at a route-wide MTU,
+// and a dual-buffered two-thread forwarding pipeline on gateway nodes whose
+// steady-state period reproduces the paper's §6.2 analysis (software
+// overhead, PCI-bus saturation, and the DMA-over-PIO priority asymmetry).
+package fwd
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// hdrSize is the Generic TM's per-packet self-description header: origin,
+// final destination, sequence number, payload length, flags, payload
+// checksum and magic. Within homogeneous Madeleine II messages need no
+// self-description (§2.2); across gateways it is mandatory, because the
+// gateway knows nothing about the messages to expect (§6.1). The checksum
+// is this implementation's integrity guard: simulated interconnects are
+// reliable by construction, so corruption can only mean a bug or an
+// injected fault — either way it must be caught, not forwarded.
+const hdrSize = 28
+
+// Packet flags.
+const (
+	flagFirst = 1 << iota // first packet of a message
+	flagLast              // last packet of a message
+)
+
+// header describes one Generic-TM packet.
+type header struct {
+	Origin int    // message source rank
+	Dst    int    // final destination rank
+	Seq    uint32 // packet sequence number within the message
+	Len    int    // payload bytes
+	Flags  uint32
+	CRC    uint32 // payload checksum
+}
+
+// encode serializes the header into a fresh hdrSize-byte block.
+func (h header) encode() []byte {
+	b := make([]byte, hdrSize)
+	binary.LittleEndian.PutUint32(b[0:], uint32(h.Origin))
+	binary.LittleEndian.PutUint32(b[4:], uint32(h.Dst))
+	binary.LittleEndian.PutUint32(b[8:], h.Seq)
+	binary.LittleEndian.PutUint32(b[12:], uint32(h.Len))
+	binary.LittleEndian.PutUint32(b[16:], h.Flags)
+	binary.LittleEndian.PutUint32(b[20:], h.CRC)
+	binary.LittleEndian.PutUint32(b[24:], hdrMagic)
+	return b
+}
+
+// checksum computes a payload's CRC.
+func checksum(payload []byte) uint32 { return crc32.ChecksumIEEE(payload) }
+
+const hdrMagic = 0x4d414432 // "MAD2"
+
+// decodeHeader parses and validates a received header block.
+func decodeHeader(b []byte) (header, error) {
+	if len(b) != hdrSize {
+		return header{}, fmt.Errorf("fwd: header block is %d bytes, want %d", len(b), hdrSize)
+	}
+	if binary.LittleEndian.Uint32(b[24:]) != hdrMagic {
+		return header{}, fmt.Errorf("fwd: bad packet magic %#x", binary.LittleEndian.Uint32(b[24:]))
+	}
+	return header{
+		Origin: int(binary.LittleEndian.Uint32(b[0:])),
+		Dst:    int(binary.LittleEndian.Uint32(b[4:])),
+		Seq:    binary.LittleEndian.Uint32(b[8:]),
+		Len:    int(binary.LittleEndian.Uint32(b[12:])),
+		Flags:  binary.LittleEndian.Uint32(b[16:]),
+		CRC:    binary.LittleEndian.Uint32(b[20:]),
+	}, nil
+}

@@ -1,0 +1,425 @@
+package fwd
+
+import (
+	"fmt"
+	"sync"
+
+	"madeleine2/internal/core"
+	"madeleine2/internal/model"
+	"madeleine2/internal/simnet"
+	"madeleine2/internal/trace"
+	"madeleine2/internal/vclock"
+)
+
+// Spec describes a virtual channel: "instead of a single channel using a
+// given network protocol, one has to specify a virtual channel that
+// includes a sequence of real channels" (§6). Adjacent segments must share
+// at least one node — the gateway.
+type Spec struct {
+	// Name prefixes the real channels created for the virtual channel
+	// (the inter-cluster traffic gets its own closed communication world).
+	Name string
+	// MTU is the route-wide packet size: "the common, optimal packet size
+	// to be used along the route", chosen "so that each network is able to
+	// send them without having to fragment them further" (§6.1). Zero
+	// selects model.DefaultMTU (16 kB, from the §6.2.1 analysis).
+	MTU int
+	// Segments are the real channels to create, in route order.
+	Segments []core.ChannelSpec
+	// BandwidthControl, when positive, throttles each gateway's incoming
+	// flow to the given MB/s — the "sophisticated bandwidth control
+	// mechanism ... to regulate the incoming communication flow on
+	// gateways" the paper names as future work (§7). Implemented here as
+	// an extension and measured by the ablation benches.
+	BandwidthControl float64
+	// ForceGatewayCopy disables the static-buffer hand-off optimization of
+	// §6.1 and always pays an extra copy on gateways (ablation).
+	ForceGatewayCopy bool
+	// Trace, when non-nil, records the gateway pipeline's receive and
+	// send spans for timeline inspection (madfwd -trace).
+	Trace *trace.Recorder
+}
+
+// chunk is one packet payload delivered to a destination's stream.
+type chunk struct {
+	data    []byte
+	stamp   vclock.Time
+	first   bool
+	corrupt bool // checksum mismatch: surfaced by Unpack
+}
+
+// stream is the per-origin incoming byte stream at a destination.
+type stream struct {
+	q       *simnet.Queue[chunk]
+	residue []byte
+	roff    int
+}
+
+// hop is one routing-table entry: forward over segment seg to rank next.
+type hop struct {
+	seg  int
+	next int
+}
+
+// VC is one rank's handle on a virtual channel. Its packing interface
+// mirrors the Madeleine channel interface; underneath, the Generic TM
+// fragments messages into self-described MTU packets that gateway daemons
+// forward between the real channels.
+type VC struct {
+	name string
+	rank int
+	mtu  int
+	spec Spec
+	sess *core.Session
+
+	chans map[int]*core.Channel // segment index -> this rank's real channel
+	next  map[int]hop           // destination rank -> next hop
+
+	msgStart *simnet.Queue[int]
+	mu       sync.Mutex
+	streams  map[int]*stream
+	pipes    map[[2]int]*pipeline
+
+	closed  chan struct{}
+	daemons sync.WaitGroup
+	members []int
+}
+
+// New collectively creates the virtual channel and returns the per-rank
+// handles. It creates one real channel per segment, computes shortest
+// routes across the segment graph, and starts the receiver daemons (and,
+// on gateways, the forwarding pipelines).
+func New(sess *core.Session, spec Spec) (map[int]*VC, error) {
+	if len(spec.Segments) == 0 {
+		return nil, fmt.Errorf("fwd: virtual channel %q has no segments", spec.Name)
+	}
+	if spec.MTU == 0 {
+		spec.MTU = model.DefaultMTU
+	}
+	if spec.MTU < hdrSize || spec.MTU > maxMTU {
+		return nil, fmt.Errorf("fwd: MTU %d out of range [%d, %d]", spec.MTU, hdrSize, maxMTU)
+	}
+	segChans := make([]map[int]*core.Channel, len(spec.Segments))
+	segMembers := make([][]int, len(spec.Segments))
+	for i, cs := range spec.Segments {
+		cs.Name = fmt.Sprintf("%s#%d", spec.Name, i)
+		chans, err := sess.NewChannel(cs)
+		if err != nil {
+			return nil, fmt.Errorf("fwd: segment %d: %w", i, err)
+		}
+		segChans[i] = chans
+		for r := range chans {
+			segMembers[i] = append(segMembers[i], r)
+		}
+	}
+	routes, members, err := buildRoutes(segMembers)
+	if err != nil {
+		return nil, fmt.Errorf("fwd: %s: %w", spec.Name, err)
+	}
+
+	vcs := make(map[int]*VC, len(members))
+	for _, r := range members {
+		v := &VC{
+			name:     spec.Name,
+			rank:     r,
+			mtu:      spec.MTU,
+			spec:     spec,
+			sess:     sess,
+			chans:    make(map[int]*core.Channel),
+			next:     routes[r],
+			msgStart: simnet.NewQueue[int](),
+			streams:  make(map[int]*stream),
+			pipes:    make(map[[2]int]*pipeline),
+			closed:   make(chan struct{}),
+			members:  members,
+		}
+		for i, chans := range segChans {
+			if ch, ok := chans[r]; ok {
+				v.chans[i] = ch
+			}
+		}
+		vcs[r] = v
+	}
+	// Daemons start after every handle exists: a gateway daemon may touch
+	// its own pipelines immediately.
+	for _, v := range vcs {
+		for segIdx, ch := range v.chans {
+			v.daemons.Add(1)
+			go func(segIdx int, ch *core.Channel) {
+				defer v.daemons.Done()
+				v.daemon(segIdx, ch)
+			}(segIdx, ch)
+		}
+	}
+	return vcs, nil
+}
+
+// maxMTU bounds packet sizes to something a gateway buffer can hold.
+const maxMTU = 1 << 20
+
+// buildRoutes computes per-node next hops over the segment graph.
+func buildRoutes(segMembers [][]int) (map[int]map[int]hop, []int, error) {
+	inSeg := make(map[int][]int) // rank -> segment indexes
+	for i, ms := range segMembers {
+		for _, r := range ms {
+			inSeg[r] = append(inSeg[r], i)
+		}
+	}
+	var members []int
+	for r := range inSeg {
+		members = append(members, r)
+	}
+	// pairSeg(a,b): the lowest-index segment containing both.
+	pairSeg := func(a, b int) (int, bool) {
+		for _, sa := range inSeg[a] {
+			for _, sb := range inSeg[b] {
+				if sa == sb {
+					return sa, true
+				}
+			}
+		}
+		return 0, false
+	}
+	routes := make(map[int]map[int]hop)
+	for _, r := range members {
+		routes[r] = make(map[int]hop)
+	}
+	// BFS from each destination d: next[n] = n's neighbor toward d.
+	for _, d := range members {
+		dist := map[int]int{d: 0}
+		queue := []int{d}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, seg := range inSeg[cur] {
+				for _, nb := range segMembers[seg] {
+					if _, seen := dist[nb]; seen || nb == cur {
+						continue
+					}
+					dist[nb] = dist[cur] + 1
+					queue = append(queue, nb)
+					s, ok := pairSeg(nb, cur)
+					if !ok {
+						return nil, nil, fmt.Errorf("inconsistent segment graph")
+					}
+					routes[nb][d] = hop{seg: s, next: cur}
+				}
+			}
+		}
+		for _, r := range members {
+			if r == d {
+				continue
+			}
+			if _, ok := routes[r][d]; !ok {
+				return nil, nil, fmt.Errorf("no route from %d to %d: segments do not share gateways", r, d)
+			}
+		}
+	}
+	return routes, members, nil
+}
+
+// Name reports the virtual channel's name; Rank the local rank.
+func (v *VC) Name() string { return v.name }
+
+// Rank reports the local process rank.
+func (v *VC) Rank() int { return v.rank }
+
+// Members lists every rank reachable on the virtual channel.
+func (v *VC) Members() []int { return append([]int(nil), v.members...) }
+
+// MTU reports the route-wide packet size.
+func (v *VC) MTU() int { return v.mtu }
+
+// Close shuts down this rank's daemons, pipelines and receive queues;
+// blocked and future BeginUnpacking calls fail once pending messages
+// drain. Idempotent.
+func (v *VC) Close() {
+	select {
+	case <-v.closed:
+		return
+	default:
+	}
+	close(v.closed)
+	for _, ch := range v.chans {
+		ch.Close()
+	}
+	v.daemons.Wait()
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for _, p := range v.pipes {
+		p.work.Close()
+		p.free.Close()
+	}
+	v.msgStart.Close()
+	for _, st := range v.streams {
+		st.q.Close()
+	}
+}
+
+// stream returns (creating) the per-origin incoming stream.
+func (v *VC) stream(origin int) *stream {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	s := v.streams[origin]
+	if s == nil {
+		s = &stream{q: simnet.NewQueue[chunk]()}
+		v.streams[origin] = s
+	}
+	return s
+}
+
+// VConn is one in-construction or in-extraction virtual-channel message.
+type VConn struct {
+	v       *VC
+	actor   *vclock.Actor
+	remote  int
+	sending bool
+	open    bool
+
+	// send state
+	buf  []byte
+	seq  uint32
+	sent bool
+}
+
+// Remote reports the peer rank (the final destination or the origin).
+func (c *VConn) Remote() int { return c.remote }
+
+// BeginPacking initiates a message toward remote across the virtual
+// channel. Note the Generic TM copies block contents at Pack time
+// (send_LATER degrades to a copy, documented deviation): packets must be
+// self-contained before they reach the first gateway.
+func (v *VC) BeginPacking(a *vclock.Actor, remote int) (*VConn, error) {
+	if remote == v.rank {
+		return nil, fmt.Errorf("fwd: cannot send to self on %s", v.name)
+	}
+	if _, ok := v.next[remote]; !ok {
+		return nil, fmt.Errorf("fwd: no route from %d to %d on %s", v.rank, remote, v.name)
+	}
+	return &VConn{v: v, actor: a, remote: remote, sending: true, open: true}, nil
+}
+
+// Pack appends a block to the message. Blocks are fragmented at the MTU;
+// a receive_EXPRESS block flushes the pending fragment so the receiver's
+// matching Unpack completes without waiting for EndPacking.
+func (c *VConn) Pack(data []byte, sm core.SendMode, rm core.RecvMode) error {
+	if !c.open || !c.sending {
+		return core.ErrBadState
+	}
+	c.buf = append(c.buf, data...)
+	for len(c.buf) >= c.v.mtu {
+		if err := c.sendPacket(c.buf[:c.v.mtu], false); err != nil {
+			return err
+		}
+		c.buf = c.buf[c.v.mtu:]
+	}
+	if rm == core.ReceiveExpress && len(c.buf) > 0 {
+		if err := c.sendPacket(c.buf, false); err != nil {
+			return err
+		}
+		c.buf = nil
+	}
+	return nil
+}
+
+// EndPacking flushes the remaining fragment (flagged last).
+func (c *VConn) EndPacking() error {
+	if !c.open || !c.sending {
+		return core.ErrBadState
+	}
+	c.open = false
+	if len(c.buf) > 0 {
+		if err := c.sendPacket(c.buf, true); err != nil {
+			return err
+		}
+		c.buf = nil
+	}
+	if !c.sent {
+		return core.ErrEmptyMessage
+	}
+	return nil
+}
+
+// sendPacket ships one self-described packet toward the next hop.
+func (c *VConn) sendPacket(payload []byte, last bool) error {
+	h := header{Origin: c.v.rank, Dst: c.remote, Seq: c.seq, Len: len(payload), CRC: checksum(payload)}
+	if c.seq == 0 {
+		h.Flags |= flagFirst
+	}
+	if last {
+		h.Flags |= flagLast
+	}
+	c.seq++
+	c.sent = true
+	hp := c.v.next[c.remote]
+	return sendPacketOn(c.v.chans[hp.seg], c.actor, hp.next, h, payload)
+}
+
+// sendPacketOn transmits one Generic-TM packet as a two-block message on a
+// real channel: the self-description header travels express (the gateway
+// must read it before the payload), the payload cheaper.
+func sendPacketOn(ch *core.Channel, a *vclock.Actor, next int, h header, payload []byte) error {
+	if ch == nil {
+		return fmt.Errorf("fwd: no local channel toward %d", next)
+	}
+	conn, err := ch.BeginPacking(a, next)
+	if err != nil {
+		return err
+	}
+	if err := conn.Pack(h.encode(), core.SendCheaper, core.ReceiveExpress); err != nil {
+		return err
+	}
+	if err := conn.Pack(payload, core.SendCheaper, core.ReceiveCheaper); err != nil {
+		return err
+	}
+	return conn.EndPacking()
+}
+
+// BeginUnpacking blocks for the first packet of the next incoming message
+// and returns its connection.
+func (v *VC) BeginUnpacking(a *vclock.Actor) (*VConn, error) {
+	origin, ok := v.msgStart.Pop()
+	if !ok {
+		return nil, core.ErrClosed
+	}
+	return &VConn{v: v, actor: a, remote: origin, sending: false, open: true}, nil
+}
+
+// Unpack extracts the next len(dst) bytes of the message.
+func (c *VConn) Unpack(dst []byte, sm core.SendMode, rm core.RecvMode) error {
+	if !c.open || c.sending {
+		return core.ErrBadState
+	}
+	st := c.v.stream(c.remote)
+	for len(dst) > 0 {
+		if st.roff == len(st.residue) {
+			ck, ok := st.q.Pop()
+			if !ok {
+				return core.ErrClosed
+			}
+			c.actor.Sync(ck.stamp)
+			if ck.corrupt {
+				return fmt.Errorf("fwd: packet from %d failed its checksum", c.remote)
+			}
+			st.residue, st.roff = ck.data, 0
+		}
+		n := copy(dst, st.residue[st.roff:])
+		st.roff += n
+		dst = dst[n:]
+	}
+	return nil
+}
+
+// EndUnpacking finalizes the reception; pack/unpack asymmetry leaves
+// residue and is reported.
+func (c *VConn) EndUnpacking() error {
+	if !c.open || c.sending {
+		return core.ErrBadState
+	}
+	c.open = false
+	st := c.v.stream(c.remote)
+	if st.roff != len(st.residue) {
+		return fmt.Errorf("fwd: %d unconsumed bytes at message end (asymmetric unpack)", len(st.residue)-st.roff)
+	}
+	return nil
+}

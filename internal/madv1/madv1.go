@@ -1,0 +1,219 @@
+// Package madv1 re-implements the FIRST Madeleine's architecture for
+// comparison: the paper's motivation (§1) is that Madeleine I's internals
+// were "strongly message-passing oriented", so supporting non
+// message-passing interfaces such as SISCI/SCI "was cumbersome and
+// introduced some unnecessary overhead", and no provision existed for
+// multiple networks in one session.
+//
+// Faithful to that description, this implementation:
+//
+//   - marshals every message into ONE contiguous staging buffer (the
+//     message-passing worldview: a message is a byte array),
+//   - ships it with a single transfer method per network — no Switch
+//     step, no short-message path, no adaptive dual-buffering —
+//   - pays the marshaling copy on both sides.
+//
+// On a message-passing network (BIP) that is close to optimal; on SCI the
+// overhead the paper complains about appears immediately: the comparison
+// harness (AblationMadIvsII) quantifies it.
+package madv1
+
+import (
+	"fmt"
+
+	"madeleine2/internal/model"
+	"madeleine2/internal/simnet"
+	"madeleine2/internal/sisci"
+	"madeleine2/internal/vclock"
+)
+
+// marshalBandwidth is the host copy rate paid to build and to consume the
+// contiguous message image.
+const marshalBandwidth = model.MadCopyBandwidth
+
+// Channel is a Madeleine I channel over SISCI: one segment ring per
+// connection, one transfer method.
+type Channel struct {
+	name string
+	rank int
+	dev  *sisci.Dev
+	conn map[int]*conn
+}
+
+// conn is one Madeleine I connection: an in-ring and a mapped out-ring.
+type conn struct {
+	ring   *sisci.LocalSegment
+	out    *sisci.RemoteSegment
+	remote int
+}
+
+const (
+	ringSize  = 256 << 10
+	chunkSize = 8 << 10 // single fixed transfer granularity
+)
+
+// v1Link is the one-and-only SISCI transfer method Madeleine I uses: the
+// regular PIO path; no short-message optimization, no dual-buffering.
+var v1Link = model.SISCIPIO
+
+// New collectively creates a Madeleine I channel on every node of the
+// world that has an SCI adapter.
+func New(w *simnet.World, name string) (map[int]*Channel, error) {
+	var members []int
+	for r := 0; r < w.Size(); r++ {
+		if _, err := w.Node(r).Adapter(sisci.Network, 0); err == nil {
+			members = append(members, r)
+		}
+	}
+	if len(members) < 2 {
+		return nil, fmt.Errorf("madv1: need at least two SCI nodes")
+	}
+	chans := make(map[int]*Channel, len(members))
+	for _, r := range members {
+		dev, err := sisci.Attach(w.Node(r), 0)
+		if err != nil {
+			return nil, err
+		}
+		chans[r] = &Channel{name: name, rank: r, dev: dev, conn: make(map[int]*conn)}
+	}
+	// Rings first, then mappings.
+	for _, r := range members {
+		for _, peer := range members {
+			if peer == r {
+				continue
+			}
+			c := &conn{remote: peer}
+			c.ring = chans[r].dev.CreateSegment(v1SegID(name, peer), ringSize)
+			chans[r].conn[peer] = c
+		}
+	}
+	for _, r := range members {
+		for _, peer := range members {
+			if peer == r {
+				continue
+			}
+			out, err := chans[r].dev.ConnectSegment(peer, 0, v1SegID(name, r))
+			if err != nil {
+				return nil, err
+			}
+			chans[r].conn[peer].out = out
+		}
+	}
+	return chans, nil
+}
+
+// v1SegID derives a segment id from the channel name and peer (Madeleine I
+// sessions are single-channel; a light hash keeps ids distinct per name).
+func v1SegID(name string, peer int) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint32(name[i])) * 16777619
+	}
+	return h<<8 | uint32(peer)&0xff | 1<<31
+}
+
+// Message is a Madeleine I outgoing message: pack calls append to the
+// contiguous staging buffer.
+type Message struct {
+	ch     *Channel
+	actor  *vclock.Actor
+	remote int
+	buf    []byte
+}
+
+// BeginPacking starts a message toward remote.
+func (c *Channel) BeginPacking(a *vclock.Actor, remote int) (*Message, error) {
+	if _, ok := c.conn[remote]; !ok {
+		return nil, fmt.Errorf("madv1: no connection %d->%d", c.rank, remote)
+	}
+	return &Message{ch: c, actor: a, remote: remote}, nil
+}
+
+// Pack appends a block: always a copy into the staging buffer (the
+// message-passing worldview; there are no semantic flags to relax it).
+func (m *Message) Pack(data []byte) {
+	m.actor.Advance(vclock.TimeForBytes(len(data), marshalBandwidth))
+	m.buf = append(m.buf, data...)
+}
+
+// EndPacking ships the staged image chunk by chunk over the single PIO
+// transfer method.
+func (m *Message) EndPacking() error {
+	cn := m.ch.conn[m.remote]
+	// Announce the message length first (the receiver needs the size of
+	// the contiguous image: Madeleine I messages are self-sized).
+	var hdr [4]byte
+	hdr[0], hdr[1], hdr[2], hdr[3] = byte(len(m.buf)), byte(len(m.buf)>>8), byte(len(m.buf)>>16), byte(len(m.buf)>>24)
+	cn.out.MemCpy(m.actor, 0, hdr[:], v1Link, 0)
+	off := len(hdr)
+	for sent := 0; sent < len(m.buf); {
+		n := len(m.buf) - sent
+		if n > chunkSize {
+			n = chunkSize
+		}
+		if off+n > ringSize {
+			off = len(hdr)
+		}
+		cn.out.MemCpy(m.actor, off, m.buf[sent:sent+n], v1Link, uint64(n))
+		sent += n
+		off += n
+	}
+	m.buf = nil
+	return nil
+}
+
+// Incoming is a received Madeleine I message being unpacked.
+type Incoming struct {
+	actor *vclock.Actor
+	buf   []byte
+	off   int
+}
+
+// BeginUnpacking receives the next message from remote: the whole
+// contiguous image is assembled before unpacking can start.
+func (c *Channel) BeginUnpacking(a *vclock.Actor, remote int) (*Incoming, error) {
+	cn, ok := c.conn[remote]
+	if !ok {
+		return nil, fmt.Errorf("madv1: no connection %d->%d", c.rank, remote)
+	}
+	off, n, _, okw := cn.ring.WaitWrite(a)
+	if !okw {
+		return nil, fmt.Errorf("madv1: channel closed")
+	}
+	if n != 4 {
+		return nil, fmt.Errorf("madv1: stream desynchronized (header %d bytes)", n)
+	}
+	var hdr [4]byte
+	cn.ring.Read(off, hdr[:])
+	total := int(hdr[0]) | int(hdr[1])<<8 | int(hdr[2])<<16 | int(hdr[3])<<24
+	img := make([]byte, 0, total)
+	for len(img) < total {
+		o, k, _, okw := cn.ring.WaitWrite(a)
+		if !okw {
+			return nil, fmt.Errorf("madv1: channel closed mid-message")
+		}
+		chunk := make([]byte, k)
+		cn.ring.Read(o, chunk)
+		img = append(img, chunk...)
+	}
+	return &Incoming{actor: a, buf: img}, nil
+}
+
+// Unpack copies the next len(dst) bytes out of the message image.
+func (in *Incoming) Unpack(dst []byte) error {
+	if in.off+len(dst) > len(in.buf) {
+		return fmt.Errorf("madv1: unpack past message end")
+	}
+	in.actor.Advance(vclock.TimeForBytes(len(dst), marshalBandwidth))
+	copy(dst, in.buf[in.off:])
+	in.off += len(dst)
+	return nil
+}
+
+// EndUnpacking finishes the reception.
+func (in *Incoming) EndUnpacking() error {
+	if in.off != len(in.buf) {
+		return fmt.Errorf("madv1: %d bytes left unconsumed", len(in.buf)-in.off)
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+// Package model holds the calibrated performance models of the simulated
+// 1999-era hardware: per-NIC link cost models (BIP/Myrinet, SISCI/SCI, TCP,
+// VIA, SBP) and the gateway PCI-bus contention model.
+//
+// The models are deliberately simple — a fixed per-message cost plus a
+// sustained bandwidth term, selected per transfer method — because that is
+// the level at which the paper reasons about its own measurements (e.g. the
+// §6.2.1 pipeline-period analysis). All constants live in calib.go with the
+// paper's anchor numbers next to them; nothing elsewhere in the repository
+// hard-codes a figure's expected value.
+package model
+
+import "madeleine2/internal/vclock"
+
+// TxKind classifies how a transfer crosses the host PCI bus. The paper's
+// Fig. 10 / Fig. 11 asymmetry comes from the different arbitration behaviour
+// of bus-master DMA transactions versus programmed-IO transactions.
+type TxKind int
+
+const (
+	// PIO: the host CPU moves the data with programmed IO (SISCI memcpy
+	// into a mapped remote segment). PIO transactions lose arbitration
+	// against concurrent bus-master DMA.
+	PIO TxKind = iota
+	// DMA: the NIC moves the data as PCI bus master (Myrinet LANai,
+	// SCI DMA mode, VIA hardware).
+	DMA
+)
+
+// String returns the conventional name of the transfer kind.
+func (k TxKind) String() string {
+	if k == PIO {
+		return "PIO"
+	}
+	return "DMA"
+}
+
+// Link is a one-way cost model for a single transfer method: a fixed
+// per-message cost plus a sustained-bandwidth byte cost. Bandwidth uses the
+// paper's convention of 1 MB/s = 1e6 bytes/s.
+type Link struct {
+	Name      string
+	Fixed     vclock.Time // per-message fixed cost (setup, control, interrupts)
+	Bandwidth float64     // sustained MB/s for the byte-moving phase
+	Kind      TxKind      // how the byte-moving phase crosses the PCI bus
+}
+
+// Time returns the modeled one-way transfer time for n bytes.
+func (l Link) Time(n int) vclock.Time {
+	return l.Fixed + vclock.TimeForBytes(n, l.Bandwidth)
+}
+
+// ByteTime returns only the byte-moving portion of the transfer time.
+func (l Link) ByteTime(n int) vclock.Time {
+	return vclock.TimeForBytes(n, l.Bandwidth)
+}
+
+// Rate returns the effective bandwidth (MB/s) delivered for n-byte messages,
+// fixed costs included.
+func (l Link) Rate(n int) float64 {
+	return vclock.MBps(n, l.Time(n))
+}
+
+// Scaled returns a copy of l with the bandwidth divided by f (f > 1 slows
+// the link). Fixed costs are unchanged: contention affects only the
+// byte-moving phase.
+func (l Link) Scaled(f float64) Link {
+	if f <= 0 {
+		f = 1
+	}
+	l.Bandwidth /= f
+	return l
+}

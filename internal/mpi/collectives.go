@@ -1,0 +1,222 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Collectives over the point-to-point layer: binomial-tree broadcast and
+// reduce, recursive-doubling barrier and allreduce, linear gather/scatter.
+// Tags in the collective range keep them off the application's tag space.
+const (
+	tagBcast = -1000 - iota
+	tagBarrier
+	tagReduce
+	tagAllreduce
+	tagGather
+	tagScatter
+	tagAlltoall
+)
+
+// Bcast broadcasts buf from root to every rank (binomial tree).
+func (c *Comm) Bcast(root int, buf []byte) error {
+	size, rank := c.Size(), c.Rank()
+	if root < 0 || root >= size {
+		return fmt.Errorf("mpi: bad bcast root %d", root)
+	}
+	rel := (rank - root + size) % size
+	// Receive from the parent, then forward down the binary tree.
+	if rel != 0 {
+		parent := (rel - 1) / 2
+		if _, err := c.Recv((parent+root)%size, tagBcast, buf); err != nil {
+			return err
+		}
+	}
+	for _, child := range []int{2*rel + 1, 2*rel + 2} {
+		if child < size {
+			if err := c.Send((child+root)%size, tagBcast, buf); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Barrier synchronizes all ranks (gather to 0, broadcast back).
+func (c *Comm) Barrier() error {
+	size, rank := c.Size(), c.Rank()
+	one := []byte{1}
+	if rank == 0 {
+		tmp := make([]byte, 1)
+		for i := 1; i < size; i++ {
+			if _, err := c.Recv(AnySource, tagBarrier, tmp); err != nil {
+				return err
+			}
+		}
+		for i := 1; i < size; i++ {
+			if err := c.Send(i, tagBarrier, one); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := c.Send(0, tagBarrier, one); err != nil {
+		return err
+	}
+	_, err := c.Recv(0, tagBarrier, make([]byte, 1))
+	return err
+}
+
+// Op is a reduction operator over float64.
+type Op func(a, b float64) float64
+
+// Predefined reduction operators.
+var (
+	Sum Op = func(a, b float64) float64 { return a + b }
+	Max Op = math.Max
+	Min Op = math.Min
+)
+
+// Reduce combines each rank's vector element-wise with op into out on
+// root (binomial tree). out is only written on root and must have
+// len(in) elements there.
+func (c *Comm) Reduce(root int, in, out []float64, op Op) error {
+	size, rank := c.Size(), c.Rank()
+	if root < 0 || root >= size {
+		return fmt.Errorf("mpi: bad reduce root %d", root)
+	}
+	acc := append([]float64(nil), in...)
+	rel := (rank - root + size) % size
+	for _, child := range []int{2*rel + 1, 2*rel + 2} {
+		if child >= size {
+			continue
+		}
+		buf := make([]byte, 8*len(in))
+		if _, err := c.Recv((child+root)%size, tagReduce, buf); err != nil {
+			return err
+		}
+		for i := range acc {
+			acc[i] = op(acc[i], math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:])))
+		}
+	}
+	if rel != 0 {
+		buf := make([]byte, 8*len(acc))
+		for i, v := range acc {
+			binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+		}
+		return c.Send((((rel-1)/2)+root)%size, tagReduce, buf)
+	}
+	if len(out) < len(acc) {
+		return fmt.Errorf("mpi: reduce output too small")
+	}
+	copy(out, acc)
+	return nil
+}
+
+// Allreduce is Reduce to rank 0 followed by a broadcast of the result.
+func (c *Comm) Allreduce(in, out []float64, op Op) error {
+	if len(out) < len(in) {
+		return fmt.Errorf("mpi: allreduce output too small")
+	}
+	if err := c.Reduce(0, in, out, op); err != nil {
+		return err
+	}
+	buf := make([]byte, 8*len(in))
+	if c.Rank() == 0 {
+		for i := range in {
+			binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(out[i]))
+		}
+	}
+	if err := c.Bcast(0, buf); err != nil {
+		return err
+	}
+	for i := range in {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return nil
+}
+
+// Gather collects each rank's equally sized block to root; out on root
+// must hold Size()*len(in) bytes.
+func (c *Comm) Gather(root int, in, out []byte) error {
+	size, rank := c.Size(), c.Rank()
+	if rank != root {
+		return c.Send(root, tagGather, in)
+	}
+	if len(out) < size*len(in) {
+		return fmt.Errorf("mpi: gather output too small")
+	}
+	copy(out[rank*len(in):], in)
+	for i := 0; i < size; i++ {
+		if i == root {
+			continue
+		}
+		if _, err := c.Recv(i, tagGather, out[i*len(in):(i+1)*len(in)]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Scatter distributes equally sized blocks of in (on root) to every rank's
+// out buffer.
+func (c *Comm) Scatter(root int, in, out []byte) error {
+	size, rank := c.Size(), c.Rank()
+	if rank == root {
+		if len(in) < size*len(out) {
+			return fmt.Errorf("mpi: scatter input too small")
+		}
+		for i := 0; i < size; i++ {
+			if i == root {
+				copy(out, in[i*len(out):(i+1)*len(out)])
+				continue
+			}
+			if err := c.Send(i, tagScatter, in[i*len(out):(i+1)*len(out)]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	_, err := c.Recv(root, tagScatter, out)
+	return err
+}
+
+// Allgather collects each rank's equally sized block to every rank
+// (gather to 0 + broadcast).
+func (c *Comm) Allgather(in, out []byte) error {
+	if len(out) < c.Size()*len(in) {
+		return fmt.Errorf("mpi: allgather output too small")
+	}
+	if err := c.Gather(0, in, out); err != nil {
+		return err
+	}
+	return c.Bcast(0, out[:c.Size()*len(in)])
+}
+
+// Alltoall sends the i-th equally sized block of in to rank i and places
+// the block received from rank j at position j of out. The schedule is a
+// ring: at step s every rank Isends to (rank+s) and receives from
+// (rank-s); the non-blocking sends keep rendezvous transports (BIP's long
+// path) from deadlocking the cycle.
+func (c *Comm) Alltoall(in, out []byte) error {
+	size, rank := c.Size(), c.Rank()
+	if len(in) < size || len(in)%size != 0 {
+		return fmt.Errorf("mpi: alltoall input not divisible into %d blocks", size)
+	}
+	blk := len(in) / size
+	if len(out) < size*blk {
+		return fmt.Errorf("mpi: alltoall output too small")
+	}
+	copy(out[rank*blk:(rank+1)*blk], in[rank*blk:(rank+1)*blk])
+	var reqs []*Request
+	for s := 1; s < size; s++ {
+		to := (rank + s) % size
+		from := (rank - s + size) % size
+		reqs = append(reqs, c.Isend(to, tagAlltoall, in[to*blk:(to+1)*blk]))
+		if _, err := c.Recv(from, tagAlltoall, out[from*blk:(from+1)*blk]); err != nil {
+			return err
+		}
+	}
+	return Waitall(reqs...)
+}

@@ -1,0 +1,138 @@
+package mpi
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestDatatypeConstructors(t *testing.T) {
+	c := Contiguous(100)
+	if c.Size() != 100 || c.Extent() != 100 || c.Segments() != 1 {
+		t.Errorf("contiguous: %d/%d/%d", c.Size(), c.Extent(), c.Segments())
+	}
+	if z := Contiguous(0); z.Size() != 0 || z.Segments() != 0 {
+		t.Error("zero contiguous broken")
+	}
+	v, err := Vector(4, 8, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Size() != 32 || v.Extent() != 3*32+8 || v.Segments() != 4 {
+		t.Errorf("vector: %d/%d/%d", v.Size(), v.Extent(), v.Segments())
+	}
+	if _, err := Vector(2, 16, 8); err == nil {
+		t.Error("stride below blocklen must fail")
+	}
+	if _, err := Vector(-1, 8, 8); err == nil {
+		t.Error("negative count must fail")
+	}
+	ix, err := Indexed([]int{0, 100}, []int{10, 20})
+	if err != nil || ix.Size() != 30 || ix.Extent() != 120 {
+		t.Errorf("indexed: %v %d/%d", err, ix.Size(), ix.Extent())
+	}
+	if _, err := Indexed([]int{0, 5}, []int{10, 20}); err == nil {
+		t.Error("overlapping segments must fail")
+	}
+	if _, err := Indexed([]int{0}, []int{1, 2}); err == nil {
+		t.Error("length mismatch must fail")
+	}
+}
+
+func TestVectorRoundTrip(t *testing.T) {
+	// A strided column exchange: send every 4th 8-byte block of a matrix
+	// row-major buffer, receive into the same layout.
+	cs := comms(t, 2, "sisci")
+	const count, blocklen, stride = 16, 8, 32
+	d, err := Vector(count, blocklen, stride)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := make([]byte, d.Extent())
+	for i := range src {
+		src[i] = byte(i * 7)
+	}
+	parallel(t, cs, func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			if err := c.SendType(1, 5, src, d); err != nil {
+				t.Error(err)
+			}
+		case 1:
+			dst := make([]byte, d.Extent())
+			st, err := c.RecvType(0, 5, dst, d)
+			if err != nil || st.Count != d.Size() {
+				t.Errorf("recv: %+v, %v", st, err)
+				return
+			}
+			// Selected bytes must match; gaps must stay zero.
+			for b := 0; b < count; b++ {
+				off := b * stride
+				if !bytes.Equal(dst[off:off+blocklen], src[off:off+blocklen]) {
+					t.Errorf("block %d corrupted", b)
+				}
+				for i := off + blocklen; i < off+stride && i < len(dst); i++ {
+					if dst[i] != 0 {
+						t.Errorf("gap byte %d written", i)
+					}
+				}
+			}
+		}
+	})
+}
+
+func TestTypedToContiguousRecv(t *testing.T) {
+	// A typed send is wire-compatible with a plain Recv of the packed
+	// bytes (MPI type-signature equivalence).
+	cs := comms(t, 2, "tcp")
+	d, _ := Vector(3, 4, 10)
+	src := make([]byte, d.Extent())
+	for i := range src {
+		src[i] = byte(i + 1)
+	}
+	parallel(t, cs, func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			if err := c.SendType(1, 0, src, d); err != nil {
+				t.Error(err)
+			}
+		case 1:
+			buf := make([]byte, d.Size())
+			st, err := c.Recv(0, 0, buf)
+			if err != nil || st.Count != d.Size() {
+				t.Errorf("recv: %+v, %v", st, err)
+				return
+			}
+			want := []byte{1, 2, 3, 4, 11, 12, 13, 14, 21, 22, 23, 24}
+			if !bytes.Equal(buf, want) {
+				t.Errorf("packed bytes = %v, want %v", buf, want)
+			}
+		}
+	})
+}
+
+func TestTypedErrors(t *testing.T) {
+	cs := comms(t, 2, "tcp")
+	d, _ := Vector(4, 8, 16)
+	small := make([]byte, 10)
+	if err := cs[0].SendType(1, 0, small, d); err == nil {
+		t.Error("extent beyond the buffer must fail on send")
+	}
+	if _, err := cs[0].RecvType(1, 0, small, d); err == nil {
+		t.Error("extent beyond the buffer must fail on receive")
+	}
+	if err := cs[0].SendType(0, 0, make([]byte, 64), d); err == nil {
+		t.Error("self-send must fail")
+	}
+	// Size mismatch detection.
+	parallel(t, cs, func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Send(1, 1, make([]byte, 8))
+		case 1:
+			d2, _ := Vector(4, 4, 8) // 16 bytes, sender sent 8
+			if _, err := c.RecvType(0, 1, make([]byte, 64), d2); err == nil {
+				t.Error("type size mismatch must be reported")
+			}
+		}
+	})
+}

@@ -1,0 +1,176 @@
+package mpi
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSplitFormsSubCommunicators(t *testing.T) {
+	cs := comms(t, 4, "sisci")
+	parallel(t, cs, func(c *Comm) {
+		defer c.Close()
+		// Even/odd split, ordered by descending parent rank via key.
+		sub, err := c.Split(c.Rank()%2, -c.Rank())
+		if err != nil {
+			t.Errorf("split: %v", err)
+			return
+		}
+		if sub.Size() != 2 {
+			t.Errorf("sub size = %d", sub.Size())
+			return
+		}
+		if sub.Parent() != c {
+			t.Error("parent link broken")
+		}
+		// Descending keys: the higher parent rank gets sub-rank 0.
+		wantRank := 0
+		if c.Rank() < 2 {
+			wantRank = 1
+		}
+		if sub.Rank() != wantRank {
+			t.Errorf("parent rank %d got sub rank %d, want %d", c.Rank(), sub.Rank(), wantRank)
+		}
+		// Traffic inside the sub-communicator.
+		peer := 1 - sub.Rank()
+		buf := make([]byte, 1)
+		if sub.Rank() == 0 {
+			if err := sub.Send(peer, 3, []byte{byte(c.Rank())}); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := sub.Recv(peer, 3, buf); err != nil {
+				t.Error(err)
+			}
+		} else {
+			if _, err := sub.Recv(peer, 3, buf); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := sub.Send(peer, 3, []byte{byte(c.Rank())}); err != nil {
+				t.Error(err)
+			}
+		}
+		// The peer is the other member of my parity class.
+		if int(buf[0])%2 != c.Rank()%2 {
+			t.Errorf("sub message crossed colors: got from parent rank %d", buf[0])
+		}
+	})
+}
+
+func TestSplitContextIsolation(t *testing.T) {
+	// The same (src, tag) on parent and sub-communicator must not collide.
+	cs := comms(t, 2, "tcp")
+	parallel(t, cs, func(c *Comm) {
+		defer c.Close()
+		sub, err := c.Split(0, c.Rank())
+		if err != nil {
+			t.Errorf("split: %v", err)
+			return
+		}
+		switch c.Rank() {
+		case 0:
+			// Send on the SUB first, then on the parent, same tag.
+			if err := sub.Send(1, 7, []byte("sub")); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := c.Send(1, 7, []byte("par")); err != nil {
+				t.Error(err)
+			}
+		case 1:
+			buf := make([]byte, 3)
+			// Receive on the PARENT first: the sub message must not match.
+			if _, err := c.Recv(0, 7, buf); err != nil {
+				t.Error(err)
+				return
+			}
+			if string(buf) != "par" {
+				t.Errorf("parent recv got %q", buf)
+			}
+			if _, err := sub.Recv(0, 7, buf); err != nil {
+				t.Error(err)
+				return
+			}
+			if string(buf) != "sub" {
+				t.Errorf("sub recv got %q", buf)
+			}
+		}
+	})
+}
+
+func TestSplitUndefinedColor(t *testing.T) {
+	cs := comms(t, 3, "tcp")
+	parallel(t, cs, func(c *Comm) {
+		defer c.Close()
+		color := 0
+		if c.Rank() == 2 {
+			color = -1 // opt out
+		}
+		sub, err := c.Split(color, 0)
+		if err != nil {
+			t.Errorf("split: %v", err)
+			return
+		}
+		if c.Rank() == 2 {
+			if sub != nil {
+				t.Error("negative color must yield a nil communicator")
+			}
+			return
+		}
+		if sub == nil || sub.Size() != 2 {
+			t.Errorf("sub = %v", sub)
+		}
+	})
+}
+
+func TestTagRangeValidation(t *testing.T) {
+	cs := comms(t, 2, "tcp")
+	if err := cs[0].Send(1, MaxTag, nil); err == nil {
+		t.Error("tag above MaxTag must fail")
+	}
+	if err := cs[0].Send(1, MaxTag-1, nil); err != nil {
+		t.Errorf("max valid tag must work: %v", err)
+	}
+	// Drain the message so the channel stays clean.
+	if _, err := cs[1].Recv(0, MaxTag-1, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllgatherAlltoall(t *testing.T) {
+	for _, np := range []int{2, 3, 4, 5} {
+		cs := comms(t, np, "sisci")
+		parallel(t, cs, func(c *Comm) {
+			defer c.Close()
+			me := []byte{byte('A' + c.Rank())}
+			all := make([]byte, c.Size())
+			if err := c.Allgather(me, all); err != nil {
+				t.Errorf("allgather: %v", err)
+				return
+			}
+			for i := range all {
+				if all[i] != byte('A'+i) {
+					t.Errorf("np%d rank %d allgather[%d] = %c", np, c.Rank(), i, all[i])
+				}
+			}
+			// Alltoall: block for rank j = (myRank*16 + j).
+			in := make([]byte, c.Size()*2)
+			for j := 0; j < c.Size(); j++ {
+				in[2*j] = byte(c.Rank()*16 + j)
+				in[2*j+1] = 0xEE
+			}
+			out := make([]byte, c.Size()*2)
+			if err := c.Alltoall(in, out); err != nil {
+				t.Errorf("alltoall: %v", err)
+				return
+			}
+			for j := 0; j < c.Size(); j++ {
+				want := []byte{byte(j*16 + c.Rank()), 0xEE}
+				if !bytes.Equal(out[2*j:2*j+2], want) {
+					t.Errorf("np%d rank %d alltoall block %d = %v, want %v",
+						np, c.Rank(), j, out[2*j:2*j+2], want)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,323 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"madeleine2/internal/bip"
+	"madeleine2/internal/core"
+	"madeleine2/internal/simnet"
+	"madeleine2/internal/sisci"
+	"madeleine2/internal/tcpnet"
+	"madeleine2/internal/vclock"
+)
+
+// comms builds an n-rank communicator set over a fresh channel.
+func comms(t *testing.T, n int, driver string) []*Comm {
+	t.Helper()
+	w := simnet.NewWorld(n)
+	for i := 0; i < n; i++ {
+		w.Node(i).AddAdapter(sisci.Network)
+		w.Node(i).AddAdapter(bip.Network)
+		w.Node(i).AddAdapter(tcpnet.Network)
+	}
+	sess := core.NewSession(w)
+	chans, err := sess.NewChannel(core.ChannelSpec{Name: "mpi", Driver: driver})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]*Comm, n)
+	for i := 0; i < n; i++ {
+		c, err := NewComm(chans[i], vclock.NewActor(fmt.Sprintf("mpi-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// parallel runs body on every rank concurrently and waits.
+func parallel(t *testing.T, cs []*Comm, body func(c *Comm)) {
+	t.Helper()
+	var wg sync.WaitGroup
+	for _, c := range cs {
+		wg.Add(1)
+		go func(c *Comm) {
+			defer wg.Done()
+			body(c)
+		}(c)
+	}
+	wg.Wait()
+}
+
+func TestSendRecvBasics(t *testing.T) {
+	cs := comms(t, 2, "sisci")
+	if cs[0].Rank() != 0 || cs[1].Size() != 2 {
+		t.Fatalf("rank/size wrong: %d/%d", cs[0].Rank(), cs[1].Size())
+	}
+	msg := []byte("hello mpi")
+	parallel(t, cs, func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			if err := c.Send(1, 7, msg); err != nil {
+				t.Error(err)
+			}
+		case 1:
+			buf := make([]byte, 64)
+			st, err := c.Recv(0, 7, buf)
+			if err != nil || st.Count != len(msg) || st.Tag != 7 || st.Source != 0 {
+				t.Errorf("recv status %+v, err %v", st, err)
+			}
+			if !bytes.Equal(buf[:st.Count], msg) {
+				t.Error("payload corrupted")
+			}
+		}
+	})
+}
+
+func TestTagMatchingOutOfOrder(t *testing.T) {
+	cs := comms(t, 2, "tcp")
+	parallel(t, cs, func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Send(1, 1, []byte("first"))
+			c.Send(1, 2, []byte("second"))
+		case 1:
+			buf := make([]byte, 16)
+			// Receive tag 2 first: tag 1 must queue and stay matchable.
+			st, err := c.Recv(0, 2, buf)
+			if err != nil || string(buf[:st.Count]) != "second" {
+				t.Errorf("tag 2: %q, %v", buf[:st.Count], err)
+			}
+			st, err = c.Recv(0, 1, buf)
+			if err != nil || string(buf[:st.Count]) != "first" {
+				t.Errorf("tag 1: %q, %v", buf[:st.Count], err)
+			}
+		}
+	})
+}
+
+func TestAnySourceAndProbe(t *testing.T) {
+	cs := comms(t, 3, "tcp")
+	parallel(t, cs, func(c *Comm) {
+		switch c.Rank() {
+		case 1, 2:
+			c.Send(0, 5, []byte{byte(c.Rank())})
+		case 0:
+			seen := map[int]bool{}
+			for i := 0; i < 2; i++ {
+				st, err := c.Probe(AnySource, 5)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				buf := make([]byte, 1)
+				st2, err := c.Recv(st.Source, 5, buf)
+				if err != nil || st2.Source != st.Source || int(buf[0]) != st.Source {
+					t.Errorf("probe/recv mismatch: %+v vs %+v (%v)", st, st2, err)
+				}
+				seen[st.Source] = true
+			}
+			if !seen[1] || !seen[2] {
+				t.Errorf("missing sources: %v", seen)
+			}
+		}
+	})
+}
+
+func TestRecvErrors(t *testing.T) {
+	cs := comms(t, 2, "tcp")
+	if err := cs[0].Send(5, 0, nil); err == nil {
+		t.Error("bad destination must fail")
+	}
+	if err := cs[0].Send(0, 0, nil); err == nil {
+		t.Error("self-send must fail")
+	}
+	parallel(t, cs, func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Send(1, 0, make([]byte, 64))
+		case 1:
+			if _, err := c.Recv(0, 0, make([]byte, 8)); err == nil {
+				t.Error("truncation must be reported")
+			}
+		}
+	})
+}
+
+func TestPingPongLatencyFig6(t *testing.T) {
+	// Fig. 6: ch_mad latency over SISCI "does not compare favorably to
+	// direct implementations of MPI over SCI" but stays near 10 µs; its
+	// large-message bandwidth beats both baselines from 32 kB up.
+	cs := comms(t, 2, "sisci")
+	const small = 4
+	var halfRTT vclock.Time
+	parallel(t, cs, func(c *Comm) {
+		buf := make([]byte, small)
+		switch c.Rank() {
+		case 0:
+			start := c.Actor().Now()
+			if _, err := c.Sendrecv(1, 0, make([]byte, small), 1, 0, buf); err != nil {
+				t.Error(err)
+			}
+			halfRTT = (c.Actor().Now() - start) / 2
+		case 1:
+			if _, err := c.Recv(0, 0, buf); err != nil {
+				t.Error(err)
+			}
+			if err := c.Send(0, 0, buf); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	lat := halfRTT.Microseconds()
+	if lat < 8 || lat > 14 {
+		t.Errorf("ch_mad small latency = %.1f µs, want ≈10", lat)
+	}
+	// Worse than both baselines at 4 B...
+	if lat < ScaMPI.OneWay(small).Microseconds() || lat < SCIMPICH.OneWay(small).Microseconds() {
+		t.Errorf("ch_mad latency %.1f µs should lose to the native baselines", lat)
+	}
+}
+
+func TestBandwidthCrossoverFig6(t *testing.T) {
+	// ch_mad bandwidth must lead every baseline at 32 kB and above, and
+	// trail ScaMPI for small messages.
+	cs := comms(t, 2, "sisci")
+	bw := func(n int) float64 {
+		var result float64
+		parallel(t, cs, func(c *Comm) {
+			buf := make([]byte, n)
+			switch c.Rank() {
+			case 0:
+				start := c.Actor().Now()
+				if _, err := c.Sendrecv(1, 0, make([]byte, n), 1, 0, buf); err != nil {
+					t.Error(err)
+				}
+				result = vclock.MBps(n, (c.Actor().Now()-start)/2)
+			case 1:
+				c.Recv(0, 0, buf)
+				c.Send(0, 0, buf)
+			}
+		})
+		return result
+	}
+	for _, n := range []int{32 << 10, 128 << 10, 1 << 20} {
+		got := bw(n)
+		for _, b := range Baselines() {
+			if got <= b.Bandwidth(n) {
+				t.Errorf("at %d bytes: ch_mad %.1f MB/s must beat %s %.1f MB/s",
+					n, got, b.Name, b.Bandwidth(n))
+			}
+		}
+	}
+	small := bw(2 << 10)
+	if small >= ScaMPI.Bandwidth(2<<10) {
+		t.Errorf("at 2 kB ch_mad %.1f MB/s should trail ScaMPI %.1f MB/s",
+			small, ScaMPI.Bandwidth(2<<10))
+	}
+	// And ch_mad uses "most of the bandwidth provided by Madeleine II".
+	if big := bw(1 << 20); big < 75 {
+		t.Errorf("ch_mad large-message bandwidth %.1f MB/s, want ≥75 (Madeleine: 82)", big)
+	}
+}
+
+func TestCollectives(t *testing.T) {
+	for _, n := range []int{2, 3, 5} {
+		t.Run(fmt.Sprintf("np%d", n), func(t *testing.T) {
+			cs := comms(t, n, "tcp")
+			parallel(t, cs, func(c *Comm) {
+				// Bcast from rank 1.
+				buf := []byte{0, 0, 0, 0}
+				if c.Rank() == 1 {
+					copy(buf, "data")
+				}
+				if err := c.Bcast(1, buf); err != nil {
+					t.Errorf("bcast: %v", err)
+					return
+				}
+				if string(buf) != "data" {
+					t.Errorf("rank %d bcast got %q", c.Rank(), buf)
+				}
+				// Barrier.
+				if err := c.Barrier(); err != nil {
+					t.Errorf("barrier: %v", err)
+					return
+				}
+				// Allreduce of rank numbers.
+				in := []float64{float64(c.Rank()), 1}
+				out := make([]float64, 2)
+				if err := c.Allreduce(in, out, Sum); err != nil {
+					t.Errorf("allreduce: %v", err)
+					return
+				}
+				want := float64(c.Size()*(c.Size()-1)) / 2
+				if out[0] != want || out[1] != float64(c.Size()) {
+					t.Errorf("rank %d allreduce = %v, want [%g %g]", c.Rank(), out, want, float64(c.Size()))
+				}
+				// Gather to 0 / Scatter from 0.
+				me := []byte{byte('a' + c.Rank())}
+				all := make([]byte, c.Size())
+				if err := c.Gather(0, me, all); err != nil {
+					t.Errorf("gather: %v", err)
+					return
+				}
+				if c.Rank() == 0 {
+					for i := range all {
+						if all[i] != byte('a'+i) {
+							t.Errorf("gather[%d] = %c", i, all[i])
+						}
+					}
+				}
+				got := make([]byte, 1)
+				if err := c.Scatter(0, all, got); err != nil {
+					t.Errorf("scatter: %v", err)
+					return
+				}
+				if got[0] != byte('a'+c.Rank()) {
+					t.Errorf("rank %d scatter got %c", c.Rank(), got[0])
+				}
+			})
+		})
+	}
+}
+
+func TestReduceMaxMin(t *testing.T) {
+	cs := comms(t, 4, "tcp")
+	parallel(t, cs, func(c *Comm) {
+		in := []float64{float64(c.Rank())}
+		out := make([]float64, 1)
+		if err := c.Allreduce(in, out, Max); err != nil {
+			t.Error(err)
+			return
+		}
+		if out[0] != 3 {
+			t.Errorf("max = %g", out[0])
+		}
+		if err := c.Allreduce(in, out, Min); err != nil {
+			t.Error(err)
+			return
+		}
+		if out[0] != 0 {
+			t.Errorf("min = %g", out[0])
+		}
+	})
+}
+
+func TestBaselineShapes(t *testing.T) {
+	for _, b := range Baselines() {
+		if b.Bandwidth(1<<20) <= b.Bandwidth(1<<10) {
+			t.Errorf("%s bandwidth must grow with size", b.Name)
+		}
+		if b.OneWay(4) <= 0 {
+			t.Errorf("%s latency must be positive", b.Name)
+		}
+	}
+	// ScaMPI is the latency leader among the baselines (Fig. 6).
+	if ScaMPI.OneWay(4) >= SCIMPICH.OneWay(4) {
+		t.Error("ScaMPI must have the lower small-message latency")
+	}
+}

@@ -1,0 +1,121 @@
+package mpi
+
+import (
+	"fmt"
+
+	"madeleine2/internal/vclock"
+)
+
+// Non-blocking point-to-point operations. Sends are executed by a
+// per-communicator send engine (one background thread with its own virtual
+// clock, the moral equivalent of the ADI's progress engine): issue order
+// is preserved, the caller's clock is only charged the issue cost, and
+// Wait synchronizes the caller to the operation's completion — so
+// communication genuinely overlaps the caller's computation in virtual
+// time. Isend buffers the payload (MPI_Ibsend-style semantics; the copy
+// keeps the caller's buffer immediately reusable).
+//
+// Irecv is lazy: matching work happens at Wait on the caller's thread
+// (the communicator's matching state is single-threaded). Posting early
+// still pins the (source, tag) slot in program order.
+
+// Request is an outstanding non-blocking operation.
+type Request struct {
+	done  chan struct{} // closed when an engine-executed op completes
+	stamp vclock.Time
+	st    Status
+	err   error
+
+	// lazy receive state (nil for sends)
+	recv *recvOp
+	c    *Comm
+}
+
+type recvOp struct {
+	src, tag int
+	buf      []byte
+	done     bool
+}
+
+// sendOp is one queued engine operation.
+type sendOp struct {
+	comm     *Comm
+	dst, tag int
+	data     []byte
+	issuedAt vclock.Time
+	req      *Request
+}
+
+// issueCost is the caller-side cost of posting a non-blocking operation.
+var issueCost = vclock.Micros(0.8)
+
+// engine lazily starts the channel-wide send engine (shared with every
+// sub-communicator: one progress thread per process, issue order global).
+func (c *Comm) engine() chan<- sendOp {
+	m := c.m
+	if m.sendQ == nil {
+		m.sendQ = make(chan sendOp, 64)
+		m.sendActor = vclock.NewActor(fmt.Sprintf("mpi-engine-%d", c.rank))
+		go func() {
+			for op := range m.sendQ {
+				// The engine cannot start before the op was issued.
+				m.sendActor.Sync(op.issuedAt)
+				op.req.err = op.comm.SendAs(m.sendActor, op.dst, op.tag, op.data)
+				op.req.stamp = m.sendActor.Now()
+				close(op.req.done)
+			}
+		}()
+	}
+	return m.sendQ
+}
+
+// Isend posts a buffered non-blocking send and returns its request.
+func (c *Comm) Isend(dst, tag int, data []byte) *Request {
+	req := &Request{done: make(chan struct{}), c: c}
+	cp := append([]byte(nil), data...)
+	c.actor.Advance(issueCost)
+	c.engine() <- sendOp{comm: c, dst: dst, tag: tag, data: cp, issuedAt: c.actor.Now(), req: req}
+	return req
+}
+
+// Irecv posts a non-blocking receive into buf.
+func (c *Comm) Irecv(src, tag int, buf []byte) *Request {
+	c.actor.Advance(issueCost)
+	return &Request{c: c, recv: &recvOp{src: src, tag: tag, buf: buf}}
+}
+
+// Wait blocks until the request completes, synchronizes the caller's
+// clock to the completion, and returns the receive status (zero for
+// sends).
+func (req *Request) Wait() (Status, error) {
+	if req.recv != nil {
+		if !req.recv.done {
+			req.st, req.err = req.c.Recv(req.recv.src, req.recv.tag, req.recv.buf)
+			req.recv.done = true
+		}
+		return req.st, req.err
+	}
+	<-req.done
+	req.c.actor.Sync(req.stamp)
+	return req.st, req.err
+}
+
+// Waitall completes every request, returning the first error.
+func Waitall(reqs ...*Request) error {
+	var first error
+	for _, r := range reqs {
+		if _, err := r.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Close stops the channel-wide send engine (optional teardown; call on
+// the world communicator).
+func (c *Comm) Close() {
+	if c.m.sendQ != nil {
+		close(c.m.sendQ)
+		c.m.sendQ = nil
+	}
+}

@@ -1,0 +1,134 @@
+package mpi
+
+import (
+	"bytes"
+	"testing"
+
+	"madeleine2/internal/vclock"
+)
+
+func TestIsendWaitMatchesSend(t *testing.T) {
+	cs := comms(t, 2, "sisci")
+	parallel(t, cs, func(c *Comm) {
+		defer c.Close()
+		switch c.Rank() {
+		case 0:
+			req := c.Isend(1, 3, []byte("nonblocking"))
+			if _, err := req.Wait(); err != nil {
+				t.Error(err)
+			}
+		case 1:
+			buf := make([]byte, 16)
+			st, err := c.Recv(0, 3, buf)
+			if err != nil || string(buf[:st.Count]) != "nonblocking" {
+				t.Errorf("recv: %q, %v", buf[:st.Count], err)
+			}
+		}
+	})
+}
+
+func TestIsendBufferReusableImmediately(t *testing.T) {
+	cs := comms(t, 2, "tcp")
+	parallel(t, cs, func(c *Comm) {
+		defer c.Close()
+		switch c.Rank() {
+		case 0:
+			data := []byte("original")
+			req := c.Isend(1, 0, data)
+			copy(data, "CLOBBER!") // buffered send: clobbering is safe
+			req.Wait()
+		case 1:
+			buf := make([]byte, 8)
+			c.Recv(0, 0, buf)
+			if string(buf) != "original" {
+				t.Errorf("got %q", buf)
+			}
+		}
+	})
+}
+
+func TestIsendOverlapsComputation(t *testing.T) {
+	// A large Isend plus 5 ms of local compute must cost roughly
+	// max(transfer, compute), not their sum.
+	cs := comms(t, 2, "sisci")
+	const n = 1 << 20 // ≈12.8 ms transfer over SISCI
+	var total vclock.Time
+	parallel(t, cs, func(c *Comm) {
+		defer c.Close()
+		switch c.Rank() {
+		case 0:
+			req := c.Isend(1, 0, make([]byte, n))
+			c.Actor().Advance(vclock.Micros(5000)) // overlapped compute
+			req.Wait()
+			total = c.Actor().Now()
+		case 1:
+			c.Recv(0, 0, make([]byte, n))
+		}
+	})
+	serial := vclock.Micros(5000) + vclock.Micros(12500)
+	if total >= serial {
+		t.Errorf("no overlap: total %v >= serial %v", total, serial)
+	}
+	if total < vclock.Micros(12000) {
+		t.Errorf("total %v below the transfer time", total)
+	}
+}
+
+func TestIsendOrderPreserved(t *testing.T) {
+	cs := comms(t, 2, "tcp")
+	parallel(t, cs, func(c *Comm) {
+		defer c.Close()
+		switch c.Rank() {
+		case 0:
+			var reqs []*Request
+			for i := 0; i < 8; i++ {
+				reqs = append(reqs, c.Isend(1, 5, []byte{byte(i)}))
+			}
+			if err := Waitall(reqs...); err != nil {
+				t.Error(err)
+			}
+		case 1:
+			for i := 0; i < 8; i++ {
+				buf := make([]byte, 1)
+				if _, err := c.Recv(0, 5, buf); err != nil || buf[0] != byte(i) {
+					t.Errorf("message %d: got %d, %v", i, buf[0], err)
+				}
+			}
+		}
+	})
+}
+
+func TestIrecvWait(t *testing.T) {
+	cs := comms(t, 2, "sisci")
+	payload := bytes.Repeat([]byte{7}, 2048)
+	parallel(t, cs, func(c *Comm) {
+		defer c.Close()
+		switch c.Rank() {
+		case 0:
+			if err := c.Send(1, 9, payload); err != nil {
+				t.Error(err)
+			}
+		case 1:
+			buf := make([]byte, 4096)
+			req := c.Irecv(0, 9, buf)
+			st, err := req.Wait()
+			if err != nil || st.Count != len(payload) || !bytes.Equal(buf[:st.Count], payload) {
+				t.Errorf("irecv: %+v, %v", st, err)
+			}
+			// A second Wait is idempotent.
+			st2, err2 := req.Wait()
+			if err2 != nil || st2 != st {
+				t.Errorf("re-wait: %+v, %v", st2, err2)
+			}
+		}
+	})
+}
+
+func TestIsendErrorSurfacesAtWait(t *testing.T) {
+	cs := comms(t, 2, "tcp")
+	defer cs[0].Close()
+	req := cs[0].Isend(7, 0, []byte{1}) // bad destination rank
+	if _, err := req.Wait(); err == nil {
+		t.Error("bad destination must surface at Wait")
+	}
+}

@@ -1,0 +1,90 @@
+package nexus
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Buffer is the Nexus-style typed message buffer: put/get pairs must be
+// symmetric, mirroring Madeleine's pack/unpack discipline one level up.
+type Buffer struct {
+	data []byte
+	off  int
+}
+
+// NewBuffer returns an empty buffer for composing an RSR body.
+func NewBuffer() *Buffer { return &Buffer{} }
+
+// NewBufferFrom wraps a received body for extraction.
+func NewBufferFrom(body []byte) *Buffer { return &Buffer{data: body} }
+
+// Bytes exposes the composed contents.
+func (b *Buffer) Bytes() []byte { return b.data }
+
+// Remaining reports how many bytes are left to extract.
+func (b *Buffer) Remaining() int { return len(b.data) - b.off }
+
+// PutUint32 appends an integer.
+func (b *Buffer) PutUint32(v uint32) *Buffer {
+	b.data = binary.LittleEndian.AppendUint32(b.data, v)
+	return b
+}
+
+// PutFloat64 appends a float.
+func (b *Buffer) PutFloat64(v float64) *Buffer {
+	b.data = binary.LittleEndian.AppendUint64(b.data, math.Float64bits(v))
+	return b
+}
+
+// PutBytes appends a length-prefixed byte block.
+func (b *Buffer) PutBytes(v []byte) *Buffer {
+	b.PutUint32(uint32(len(v)))
+	b.data = append(b.data, v...)
+	return b
+}
+
+// PutString appends a length-prefixed string.
+func (b *Buffer) PutString(s string) *Buffer { return b.PutBytes([]byte(s)) }
+
+func (b *Buffer) take(n int) ([]byte, error) {
+	if b.off+n > len(b.data) {
+		return nil, fmt.Errorf("nexus: buffer underflow: need %d bytes, have %d", n, len(b.data)-b.off)
+	}
+	v := b.data[b.off : b.off+n]
+	b.off += n
+	return v, nil
+}
+
+// GetUint32 extracts an integer.
+func (b *Buffer) GetUint32() (uint32, error) {
+	v, err := b.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(v), nil
+}
+
+// GetFloat64 extracts a float.
+func (b *Buffer) GetFloat64() (float64, error) {
+	v, err := b.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(v)), nil
+}
+
+// GetBytes extracts a length-prefixed byte block.
+func (b *Buffer) GetBytes() ([]byte, error) {
+	n, err := b.GetUint32()
+	if err != nil {
+		return nil, err
+	}
+	return b.take(int(n))
+}
+
+// GetString extracts a length-prefixed string.
+func (b *Buffer) GetString() (string, error) {
+	v, err := b.GetBytes()
+	return string(v), err
+}

@@ -1,0 +1,91 @@
+package simnet
+
+import "sync"
+
+// Packet is a unit of data in flight on the simulated fabric. Data is real
+// (the receiver gets the actual bytes); Inject and Arrive are virtual-time
+// stamps assigned by the sending driver from its cost model.
+type Packet struct {
+	Data   []byte
+	Inject int64 // vclock.Time: sender began injecting
+	Arrive int64 // vclock.Time: last byte lands at the receiver
+	Tag    uint64
+	Kind   int // driver-specific discriminator (e.g. control vs data)
+}
+
+// Queue is an unbounded, ordered, reliable FIFO: the simulated equivalent
+// of an in-order network lane plus the NIC receive ring behind it. It is
+// unbounded so that simulated flow control (credits, rendezvous) is
+// implemented by the drivers themselves, exactly where the real protocols
+// implement it, rather than by accidental channel backpressure.
+type Queue[T any] struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []T
+	closed bool
+}
+
+// NewQueue returns an empty open queue.
+func NewQueue[T any]() *Queue[T] {
+	q := &Queue[T]{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push appends v. Pushing to a closed queue panics: drivers own queue
+// lifetime and never race close against send.
+func (q *Queue[T]) Push(v T) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		panic("simnet: push on closed queue")
+	}
+	q.items = append(q.items, v)
+	q.cond.Signal()
+}
+
+// Pop removes and returns the head item, blocking until one is available.
+// ok is false if the queue was closed and drained.
+func (q *Queue[T]) Pop() (v T, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// TryPop removes and returns the head item without blocking.
+func (q *Queue[T]) TryPop() (v T, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Len reports the number of queued items.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Close marks the queue closed; blocked and future Pops drain the remaining
+// items and then report ok = false.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}

@@ -1,0 +1,290 @@
+package simnet
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue[int]()
+	for i := 0; i < 100; i++ {
+		q.Push(i)
+	}
+	if q.Len() != 100 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop #%d = %d,%v", i, v, ok)
+		}
+	}
+	if _, ok := q.TryPop(); ok {
+		t.Error("TryPop on empty queue must fail")
+	}
+}
+
+func TestQueueCloseDrains(t *testing.T) {
+	q := NewQueue[string]()
+	q.Push("a")
+	q.Push("b")
+	q.Close()
+	if v, ok := q.Pop(); !ok || v != "a" {
+		t.Fatalf("Pop after close = %q,%v", v, ok)
+	}
+	if v, ok := q.Pop(); !ok || v != "b" {
+		t.Fatalf("Pop after close = %q,%v", v, ok)
+	}
+	if _, ok := q.Pop(); ok {
+		t.Error("drained closed queue must report !ok")
+	}
+}
+
+func TestQueueBlockingPop(t *testing.T) {
+	q := NewQueue[int]()
+	done := make(chan int)
+	go func() {
+		v, _ := q.Pop()
+		done <- v
+	}()
+	q.Push(42)
+	if got := <-done; got != 42 {
+		t.Errorf("blocking Pop = %d", got)
+	}
+}
+
+func TestQueuePushAfterClosePanics(t *testing.T) {
+	q := NewQueue[int]()
+	q.Close()
+	defer func() {
+		if recover() == nil {
+			t.Error("Push after Close must panic")
+		}
+	}()
+	q.Push(1)
+}
+
+func TestQueueConcurrentProducersPreserveCount(t *testing.T) {
+	q := NewQueue[int]()
+	const producers, per = 8, 500
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				q.Push(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if q.Len() != producers*per {
+		t.Errorf("Len = %d, want %d", q.Len(), producers*per)
+	}
+}
+
+func TestWorldTopology(t *testing.T) {
+	w := NewWorld(3)
+	if w.Size() != 3 {
+		t.Fatalf("Size = %d", w.Size())
+	}
+	a0 := w.Node(0).AddAdapter("myrinet")
+	a1 := w.Node(1).AddAdapter("myrinet")
+	w.Node(1).AddAdapter("sci")
+	if a0.Network() != "myrinet" || a0.Index() != 0 || a0.Node().ID() != 0 {
+		t.Errorf("adapter identity wrong: %s/%d on node %d", a0.Network(), a0.Index(), a0.Node().ID())
+	}
+	// Second adapter on the same network gets the next index.
+	b0 := w.Node(0).AddAdapter("myrinet")
+	if b0.Index() != 1 {
+		t.Errorf("second adapter index = %d", b0.Index())
+	}
+	got, err := w.Node(0).Adapter("myrinet", 1)
+	if err != nil || got != b0 {
+		t.Errorf("Adapter lookup: %v, %v", got, err)
+	}
+	if _, err := w.Node(0).Adapter("sci", 0); err == nil {
+		t.Error("node 0 must not have an sci adapter")
+	}
+	if _, err := w.Node(2).Adapter("myrinet", 0); err == nil {
+		t.Error("node 2 must not have adapters")
+	}
+	peer, err := a0.Peer(1, 0)
+	if err != nil || peer != a1 {
+		t.Errorf("Peer = %v, %v", peer, err)
+	}
+	nets := w.Node(1).Networks()
+	if len(nets) != 2 {
+		t.Errorf("node 1 networks = %v", nets)
+	}
+	if w.Node(1).Bus() == nil {
+		t.Error("node must have a default bus model")
+	}
+}
+
+func TestWorldBadRankPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Node(5) on a 2-node world must panic")
+		}
+	}()
+	NewWorld(2).Node(5)
+}
+
+func TestDeliverMovesRealBytes(t *testing.T) {
+	w := NewWorld(2)
+	a0 := w.Node(0).AddAdapter("net")
+	a1 := w.Node(1).AddAdapter("net")
+	payload := []byte("hello, cluster")
+	a0.Deliver(a1, 7, Packet{Data: payload, Arrive: 123, Tag: 9})
+	p, ok := a1.RxLane(0, 7).Pop()
+	if !ok || !bytes.Equal(p.Data, payload) || p.Arrive != 123 || p.Tag != 9 {
+		t.Fatalf("delivered packet = %+v, ok=%v", p, ok)
+	}
+	bi, bo, pi, po := a1.Stats()
+	if bi != int64(len(payload)) || pi != 1 || bo != 0 || po != 0 {
+		t.Errorf("receiver stats = %d/%d/%d/%d", bi, bo, pi, po)
+	}
+	bi, bo, pi, po = a0.Stats()
+	if bo != int64(len(payload)) || po != 1 || bi != 0 || pi != 0 {
+		t.Errorf("sender stats = %d/%d/%d/%d", bi, bo, pi, po)
+	}
+}
+
+func TestLanesAreIndependentAndOrdered(t *testing.T) {
+	w := NewWorld(2)
+	a0 := w.Node(0).AddAdapter("net")
+	a1 := w.Node(1).AddAdapter("net")
+	for i := 0; i < 10; i++ {
+		a0.Deliver(a1, i%2, Packet{Tag: uint64(i)})
+	}
+	for lane := 0; lane < 2; lane++ {
+		prev := int64(-1)
+		q := a1.RxLane(0, lane)
+		for q.Len() > 0 {
+			p, _ := q.Pop()
+			if int64(p.Tag) <= prev {
+				t.Errorf("lane %d out of order: %d after %d", lane, p.Tag, prev)
+			}
+			if int(p.Tag)%2 != lane {
+				t.Errorf("lane %d got tag %d", lane, p.Tag)
+			}
+			prev = int64(p.Tag)
+		}
+	}
+}
+
+func TestSegmentWritePollRead(t *testing.T) {
+	w := NewWorld(2)
+	owner := w.Node(0).AddAdapter("sci")
+	remote := w.Node(1).AddAdapter("sci")
+	owner.CreateSegment(42, 4096)
+
+	seg, err := remote.ConnectSegment(0, 0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg.ID() != 42 || seg.Size() != 4096 {
+		t.Fatalf("segment identity: id=%d size=%d", seg.ID(), seg.Size())
+	}
+	seg.Write(128, []byte("payload"), WriteRecord{Arrive: 555, Tag: 3})
+	rec, ok := seg.Poll()
+	if !ok || rec.Off != 128 || rec.Len != 7 || rec.Arrive != 555 || rec.Tag != 3 {
+		t.Fatalf("record = %+v, ok=%v", rec, ok)
+	}
+	dst := make([]byte, 7)
+	seg.Read(128, dst)
+	if string(dst) != "payload" {
+		t.Errorf("Read = %q", dst)
+	}
+	if _, ok := seg.TryPoll(); ok {
+		t.Error("no further records expected")
+	}
+	seg.Release()
+	if _, ok := seg.Poll(); ok {
+		t.Error("released segment must drain to !ok")
+	}
+}
+
+func TestSegmentErrors(t *testing.T) {
+	w := NewWorld(2)
+	owner := w.Node(0).AddAdapter("sci")
+	remote := w.Node(1).AddAdapter("sci")
+	owner.CreateSegment(1, 64)
+	if _, err := remote.ConnectSegment(0, 0, 99); err == nil {
+		t.Error("connecting a nonexistent segment must fail")
+	}
+	if _, err := remote.ConnectSegment(0, 3, 1); err == nil {
+		t.Error("connecting via a nonexistent peer adapter must fail")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate segment id must panic")
+			}
+		}()
+		owner.CreateSegment(1, 64)
+	}()
+	seg, _ := remote.ConnectSegment(0, 0, 1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("out-of-range write must panic")
+			}
+		}()
+		seg.Write(60, []byte("toolong"), WriteRecord{})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("out-of-range read must panic")
+			}
+		}()
+		seg.Read(-1, make([]byte, 4))
+	}()
+}
+
+func TestSegmentWriteOrderIsPollOrder(t *testing.T) {
+	// Property: records are polled in exactly the order writes were issued.
+	f := func(offs []uint8) bool {
+		seg := NewSegment(7, 512)
+		for i, o := range offs {
+			seg.Write(int(o), []byte{byte(i)}, WriteRecord{Tag: uint64(i)})
+		}
+		for i := range offs {
+			rec, ok := seg.Poll()
+			if !ok || rec.Tag != uint64(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFaultInjection(t *testing.T) {
+	w := NewWorld(2)
+	a0 := w.Node(0).AddAdapter("net")
+	a1 := w.Node(1).AddAdapter("net")
+	a0.CorruptNext()
+	a0.Deliver(a1, 0, Packet{Data: []byte{1, 2, 3, 4}})
+	a0.Deliver(a1, 0, Packet{Data: []byte{1, 2, 3, 4}})
+	p1, _ := a1.RxLane(0, 0).Pop()
+	p2, _ := a1.RxLane(0, 0).Pop()
+	if bytes.Equal(p1.Data, []byte{1, 2, 3, 4}) {
+		t.Error("armed fault must corrupt the first packet")
+	}
+	if !bytes.Equal(p2.Data, []byte{1, 2, 3, 4}) {
+		t.Error("fault must be single-shot")
+	}
+	// Empty payloads pass through without panicking.
+	a0.CorruptNext()
+	a0.Deliver(a1, 0, Packet{})
+	if p, _ := a1.RxLane(0, 0).Pop(); p.Data != nil {
+		t.Error("empty packet must stay empty")
+	}
+}

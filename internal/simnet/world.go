@@ -1,0 +1,216 @@
+// Package simnet is the virtual cluster hardware underneath the simulated
+// NIC drivers: nodes, network adapters, in-order packet lanes, and SCI-style
+// exported memory segments. It moves real bytes (payloads are delivered
+// verbatim and verified by the test suites above it) while time is virtual:
+// packets carry arrival stamps computed by the drivers from the calibrated
+// models in internal/model.
+package simnet
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"madeleine2/internal/model"
+	"madeleine2/internal/vclock"
+)
+
+// World is a set of simulated nodes and the fabrics connecting them. All
+// adapters attached to the same network name form a full crossbar (the
+// drivers' cost models include the per-hop wire time).
+type World struct {
+	mu    sync.Mutex
+	nodes []*Node
+}
+
+// NewWorld returns a world with n nodes (ranks 0..n-1), each with a default
+// PCI bus model.
+func NewWorld(n int) *World {
+	w := &World{}
+	for i := 0; i < n; i++ {
+		w.nodes = append(w.nodes, &Node{
+			id:    i,
+			world: w,
+			bus:   model.DefaultPCI(),
+		})
+	}
+	return w
+}
+
+// Size reports the number of nodes.
+func (w *World) Size() int { return len(w.nodes) }
+
+// Node returns the node with the given rank; it panics on a bad rank, which
+// is a configuration error.
+func (w *World) Node(rank int) *Node {
+	if rank < 0 || rank >= len(w.nodes) {
+		panic(fmt.Sprintf("simnet: no node %d in a %d-node world", rank, len(w.nodes)))
+	}
+	return w.nodes[rank]
+}
+
+// Node is one simulated host: a rank, a PCI bus model, and a set of network
+// adapters keyed by network name.
+type Node struct {
+	id       int
+	world    *World
+	bus      *model.PCIBus
+	mu       sync.Mutex
+	adapters map[string][]*Adapter
+}
+
+// ID reports the node's rank in its world.
+func (n *Node) ID() int { return n.id }
+
+// Bus returns the node's PCI bus model.
+func (n *Node) Bus() *model.PCIBus { return n.bus }
+
+// SetBus replaces the node's PCI bus model (used by ablation benches).
+func (n *Node) SetBus(b *model.PCIBus) { n.bus = b }
+
+// AddAdapter attaches a new adapter to the named network and returns it.
+// A node may have several adapters on the same network (the paper's
+// multi-adapter support) and adapters on different networks (a gateway).
+func (n *Node) AddAdapter(network string) *Adapter {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.adapters == nil {
+		n.adapters = make(map[string][]*Adapter)
+	}
+	a := &Adapter{
+		node:    n,
+		network: network,
+		index:   len(n.adapters[network]),
+		tx:      vclock.NewResource(fmt.Sprintf("n%d/%s%d/tx", n.id, network, len(n.adapters[network]))),
+		lanes:   make(map[laneKey]*Queue[Packet]),
+	}
+	n.adapters[network] = append(n.adapters[network], a)
+	return a
+}
+
+// Adapter returns the node's idx-th adapter on the named network, or an
+// error if it does not exist.
+func (n *Node) Adapter(network string, idx int) (*Adapter, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	as := n.adapters[network]
+	if idx < 0 || idx >= len(as) {
+		return nil, fmt.Errorf("simnet: node %d has no adapter %s[%d]", n.id, network, idx)
+	}
+	return as[idx], nil
+}
+
+// Networks lists the network names this node is attached to.
+func (n *Node) Networks() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var out []string
+	for name := range n.adapters {
+		out = append(out, name)
+	}
+	return out
+}
+
+// laneKey identifies one in-order lane arriving at an adapter.
+type laneKey struct {
+	srcNode int
+	lane    int
+}
+
+// Adapter is one simulated NIC. Its transmit engine is a serial virtual-time
+// resource; its receive side is a set of in-order lanes, one per (source
+// node, lane id) pair, mirroring per-connection NIC receive rings.
+type Adapter struct {
+	node    *Node
+	network string
+	index   int
+	tx      *vclock.Resource
+
+	mu       sync.Mutex
+	lanes    map[laneKey]*Queue[Packet]
+	segments map[uint32]*Segment
+
+	bytesOut   atomic.Int64
+	bytesIn    atomic.Int64
+	pktsOut    atomic.Int64
+	pktsIn     atomic.Int64
+	corrupt    atomic.Bool
+	corruptMin atomic.Int64
+}
+
+// Node returns the adapter's host node.
+func (a *Adapter) Node() *Node { return a.node }
+
+// Network reports the network name the adapter is attached to.
+func (a *Adapter) Network() string { return a.network }
+
+// Index reports the adapter's index among the node's adapters on the
+// same network.
+func (a *Adapter) Index() int { return a.index }
+
+// TxEngine returns the adapter's transmit engine resource; drivers acquire
+// it to serialize outgoing transfers in virtual time.
+func (a *Adapter) TxEngine() *vclock.Resource { return a.tx }
+
+// RxLane returns (creating on first use) the in-order receive lane for
+// packets arriving from srcNode on the given lane id.
+func (a *Adapter) RxLane(srcNode, lane int) *Queue[Packet] {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	k := laneKey{srcNode, lane}
+	q := a.lanes[k]
+	if q == nil {
+		q = NewQueue[Packet]()
+		a.lanes[k] = q
+	}
+	return q
+}
+
+// Peer resolves the idx-th adapter of dstNode on this adapter's network.
+func (a *Adapter) Peer(dstNode, idx int) (*Adapter, error) {
+	return a.node.world.Node(dstNode).Adapter(a.network, idx)
+}
+
+// Deliver pushes a packet onto the destination adapter's lane and updates
+// both adapters' traffic counters. The caller (a driver) has already
+// stamped the packet's virtual times.
+func (a *Adapter) Deliver(dst *Adapter, lane int, p Packet) {
+	a.injectFault(&p)
+	a.bytesOut.Add(int64(len(p.Data)))
+	a.pktsOut.Add(1)
+	dst.bytesIn.Add(int64(len(p.Data)))
+	dst.pktsIn.Add(1)
+	dst.RxLane(a.node.id, lane).Push(p)
+}
+
+// Stats reports cumulative traffic through the adapter.
+func (a *Adapter) Stats() (bytesIn, bytesOut, pktsIn, pktsOut int64) {
+	return a.bytesIn.Load(), a.bytesOut.Load(), a.pktsIn.Load(), a.pktsOut.Load()
+}
+
+// CorruptNext arms a single-shot fault: the next packet delivered THROUGH
+// this adapter (outgoing) has one payload byte flipped. Reliability is a
+// property of the simulated interconnects, but the layers above carry
+// integrity checks (the forwarding layer's packet checksums); fault
+// injection exists to prove they fire.
+func (a *Adapter) CorruptNext() { a.CorruptNextMin(1) }
+
+// CorruptNextMin arms the fault for the next delivered packet of at least
+// min bytes (so a test can target payloads rather than tiny headers).
+func (a *Adapter) CorruptNextMin(min int) {
+	a.corruptMin.Store(int64(min))
+	a.corrupt.Store(true)
+}
+
+// injectFault applies (and disarms) a pending fault to p's payload.
+func (a *Adapter) injectFault(p *Packet) {
+	if len(p.Data) == 0 || int64(len(p.Data)) < a.corruptMin.Load() {
+		return
+	}
+	if !a.corrupt.CompareAndSwap(true, false) {
+		return
+	}
+	cp := append([]byte(nil), p.Data...)
+	cp[len(cp)/2] ^= 0xFF
+	p.Data = cp
+}

@@ -1,0 +1,76 @@
+// Package tcpnet provides the TCP/Fast-Ethernet substrate: reliable,
+// ordered, message-framed byte transport between nodes with kernel-stack
+// costs. The paper's TCP PMM drives it, the Nexus comparison (Fig. 7) runs
+// over it, and the forwarding experiment's acknowledgment path uses it
+// (§6.2). Framing is message-oriented, which is exactly how Madeleine's
+// TCP protocol module uses a socket (one write/read per buffer).
+package tcpnet
+
+import (
+	"fmt"
+
+	"madeleine2/internal/model"
+	"madeleine2/internal/simnet"
+	"madeleine2/internal/vclock"
+)
+
+// Network is the fabric name Ethernet adapters attach to.
+const Network = "ethernet"
+
+// Endpoint is one node's TCP stack instance on an Ethernet adapter.
+type Endpoint struct {
+	adapter *simnet.Adapter
+}
+
+// Attach opens the TCP substrate on the idx-th Ethernet adapter of node n.
+func Attach(n *simnet.Node, idx int) (*Endpoint, error) {
+	a, err := n.Adapter(Network, idx)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: %w", err)
+	}
+	return &Endpoint{adapter: a}, nil
+}
+
+// Node reports the rank of the endpoint's host.
+func (e *Endpoint) Node() int { return e.adapter.Node().ID() }
+
+// Send transmits one framed message to (dst, port). The kernel copies the
+// payload, so the caller's buffer is immediately reusable.
+func (e *Endpoint) Send(a *vclock.Actor, dst, port int, data []byte) error {
+	pa, err := e.adapter.Peer(dst, e.adapter.Index())
+	if err != nil {
+		return fmt.Errorf("tcpnet: %w", err)
+	}
+	// The kernel stack's per-message processing occupies the send path in
+	// addition to the wire time — that is what message aggregation (one
+	// send per buffer group) amortizes.
+	start, _ := e.adapter.TxEngine().Acquire(a.Now(),
+		model.TCPFE.ByteTime(len(data))+model.TCPFE.Fixed/2)
+	arrive := start + model.TCPFE.Time(len(data))
+	a.Advance(model.TCPFE.Fixed / 4) // syscall + kernel copy on the sender
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	e.adapter.Deliver(pa, port, simnet.Packet{Data: cp, Inject: int64(start), Arrive: int64(arrive)})
+	return nil
+}
+
+// Recv blocks for the next framed message from (src, port), synchronizes
+// the actor's clock to its arrival, and returns the payload.
+func (e *Endpoint) Recv(a *vclock.Actor, src, port int) ([]byte, error) {
+	pkt, ok := e.adapter.RxLane(src, port).Pop()
+	if !ok {
+		return nil, fmt.Errorf("tcpnet: connection closed")
+	}
+	a.Sync(vclock.Time(pkt.Arrive))
+	return pkt.Data, nil
+}
+
+// TryRecv is the non-blocking Recv.
+func (e *Endpoint) TryRecv(a *vclock.Actor, src, port int) ([]byte, bool) {
+	pkt, ok := e.adapter.RxLane(src, port).TryPop()
+	if !ok {
+		return nil, false
+	}
+	a.Sync(vclock.Time(pkt.Arrive))
+	return pkt.Data, true
+}

@@ -1,0 +1,178 @@
+// Package trace records virtual-time spans and renders them as an ASCII
+// timeline — the observability companion of the forwarding pipeline: the
+// paper reasons about Fig. 9 ("one buffer can be sent while the other is
+// received with a perfect overlap") and a recorded timeline makes that
+// overlap, the per-step software overhead, and the DMA/PIO starvation
+// directly visible. madfwd -trace prints one.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"madeleine2/internal/vclock"
+)
+
+// Span is one labeled interval on one actor's timeline.
+type Span struct {
+	Actor string
+	Start vclock.Time
+	End   vclock.Time
+	Label string
+}
+
+// Duration reports the span's length.
+func (s Span) Duration() vclock.Time { return s.End - s.Start }
+
+// Recorder collects spans; safe for concurrent use. A nil *Recorder is a
+// valid no-op sink, so instrumented code records unconditionally.
+type Recorder struct {
+	mu    sync.Mutex
+	spans []Span
+	limit int
+}
+
+// New returns a recorder keeping at most limit spans (0 = unbounded).
+func New(limit int) *Recorder { return &Recorder{limit: limit} }
+
+// Record appends one span. No-op on a nil recorder or an empty interval.
+func (r *Recorder) Record(actor string, start, end vclock.Time, label string) {
+	if r == nil || end < start {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.limit > 0 && len(r.spans) >= r.limit {
+		return
+	}
+	r.spans = append(r.spans, Span{Actor: actor, Start: start, End: end, Label: label})
+}
+
+// Spans returns a copy of the recorded spans, ordered by start time.
+func (r *Recorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := append([]Span(nil), r.spans...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Len reports the recorded span count.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.spans)
+}
+
+// Timeline renders the spans as an ASCII chart of the given width: one
+// row per actor, '#' cells where the actor is busy, '.' where idle, with
+// the time range in the header. Rows are ordered by each actor's first
+// activity.
+func (r *Recorder) Timeline(width int) string {
+	spans := r.Spans()
+	if len(spans) == 0 {
+		return "(no spans recorded)\n"
+	}
+	if width < 10 {
+		width = 10
+	}
+	t0 := spans[0].Start
+	t1 := spans[0].End
+	for _, s := range spans {
+		if s.Start < t0 {
+			t0 = s.Start
+		}
+		if s.End > t1 {
+			t1 = s.End
+		}
+	}
+	if t1 == t0 {
+		t1 = t0 + 1
+	}
+	cell := float64(t1-t0) / float64(width)
+
+	// Group rows by actor in order of first appearance.
+	var actors []string
+	rows := map[string][]byte{}
+	for _, s := range spans {
+		if _, ok := rows[s.Actor]; !ok {
+			actors = append(actors, s.Actor)
+			rows[s.Actor] = []byte(strings.Repeat(".", width))
+		}
+		lo := int(float64(s.Start-t0) / cell)
+		hi := int(float64(s.End-t0)/cell + 0.999)
+		if hi > width {
+			hi = width
+		}
+		if lo == hi && lo < width {
+			hi = lo + 1
+		}
+		mark := byte('#')
+		if s.Label != "" {
+			mark = s.Label[0]
+		}
+		for i := lo; i < hi; i++ {
+			rows[s.Actor][i] = mark
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline %v .. %v (%d spans, cell ≈ %s)\n",
+		t0, t1, len(spans), vclock.Time(cell))
+	nameW := 0
+	for _, a := range actors {
+		if len(a) > nameW {
+			nameW = len(a)
+		}
+	}
+	for _, a := range actors {
+		fmt.Fprintf(&b, "%-*s |%s|\n", nameW, a, rows[a])
+	}
+	return b.String()
+}
+
+// Busy reports the total busy time of one actor.
+func (r *Recorder) Busy(actor string) vclock.Time {
+	var total vclock.Time
+	for _, s := range r.Spans() {
+		if s.Actor == actor {
+			total += s.Duration()
+		}
+	}
+	return total
+}
+
+// Overlap reports the total time during which both actors were busy
+// simultaneously — the pipeline-overlap metric of Fig. 9.
+func (r *Recorder) Overlap(a, b string) vclock.Time {
+	sa, sb := r.actorSpans(a), r.actorSpans(b)
+	var total vclock.Time
+	for _, x := range sa {
+		for _, y := range sb {
+			lo := vclock.Max(x.Start, y.Start)
+			hi := vclock.Min(x.End, y.End)
+			if hi > lo {
+				total += hi - lo
+			}
+		}
+	}
+	return total
+}
+
+func (r *Recorder) actorSpans(actor string) []Span {
+	var out []Span
+	for _, s := range r.Spans() {
+		if s.Actor == actor {
+			out = append(out, s)
+		}
+	}
+	return out
+}

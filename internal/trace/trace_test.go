@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"madeleine2/internal/vclock"
+)
+
+func us(n float64) vclock.Time { return vclock.Micros(n) }
+
+func TestRecordAndSpans(t *testing.T) {
+	r := New(0)
+	r.Record("b", us(10), us(20), "x")
+	r.Record("a", us(0), us(5), "y")
+	r.Record("a", us(30), us(20), "ignored") // inverted: dropped
+	spans := r.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d", len(spans))
+	}
+	if spans[0].Actor != "a" || spans[1].Actor != "b" {
+		t.Errorf("not ordered by start: %+v", spans)
+	}
+	if spans[0].Duration() != us(5) {
+		t.Errorf("duration = %v", spans[0].Duration())
+	}
+	if r.Len() != 2 {
+		t.Errorf("Len = %d", r.Len())
+	}
+}
+
+func TestNilRecorderIsNoop(t *testing.T) {
+	var r *Recorder
+	r.Record("a", 0, 1, "x") // must not panic
+	if r.Spans() != nil || r.Len() != 0 {
+		t.Error("nil recorder must be empty")
+	}
+}
+
+func TestLimit(t *testing.T) {
+	r := New(2)
+	for i := 0; i < 5; i++ {
+		r.Record("a", vclock.Time(i), vclock.Time(i+1), "")
+	}
+	if r.Len() != 2 {
+		t.Errorf("limit not enforced: %d", r.Len())
+	}
+}
+
+func TestBusyAndOverlap(t *testing.T) {
+	r := New(0)
+	r.Record("rx", us(0), us(100), "r")
+	r.Record("rx", us(200), us(300), "r")
+	r.Record("tx", us(50), us(250), "s")
+	if got := r.Busy("rx"); got != us(200) {
+		t.Errorf("Busy(rx) = %v", got)
+	}
+	// Overlap: [50,100) + [200,250) = 100 µs.
+	if got := r.Overlap("rx", "tx"); got != us(100) {
+		t.Errorf("Overlap = %v", got)
+	}
+	if got := r.Overlap("tx", "rx"); got != us(100) {
+		t.Errorf("Overlap must be symmetric: %v", got)
+	}
+	if r.Overlap("rx", "nobody") != 0 {
+		t.Error("overlap with an absent actor must be zero")
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	r := New(0)
+	r.Record("gw-rx", us(0), us(50), "r")
+	r.Record("gw-tx", us(25), us(100), "s")
+	out := r.Timeline(40)
+	if !strings.Contains(out, "gw-rx") || !strings.Contains(out, "gw-tx") {
+		t.Fatalf("rows missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// The rx row is marked with 'r' in the first half, idle after.
+	rxRow := lines[1]
+	if !strings.Contains(rxRow, "r") || !strings.Contains(rxRow, ".") {
+		t.Errorf("rx row = %q", rxRow)
+	}
+	txRow := lines[2]
+	if !strings.Contains(txRow, "s") || strings.Index(txRow, "s") <= strings.Index(txRow, "|") {
+		t.Errorf("tx row = %q", txRow)
+	}
+	// Empty recorder renders a placeholder.
+	if got := New(0).Timeline(40); !strings.Contains(got, "no spans") {
+		t.Errorf("empty timeline = %q", got)
+	}
+}
+
+func TestTimelineTinySpansVisible(t *testing.T) {
+	r := New(0)
+	r.Record("a", us(0), us(1000), "a")
+	r.Record("b", us(500), us(500), "b") // zero length: still one cell
+	out := r.Timeline(20)
+	if !strings.Contains(out, "b") {
+		t.Errorf("tiny span invisible:\n%s", out)
+	}
+}

@@ -1,0 +1,77 @@
+// Package vclock provides the virtual-time primitives used by the simulated
+// cluster hardware.
+//
+// Everything in this repository moves real bytes through real Go code, but
+// *time* is virtual: every thread of control is an Actor holding a scalar
+// clock, every serialized device engine (a NIC send engine, a DMA queue, a
+// PCI bus slot) is a Resource with a "free at" horizon, and messages carry
+// virtual arrival stamps. An operation advances the initiating actor's clock
+// by a modeled duration; a receiver synchronizes its clock to the maximum of
+// its own time and the message's arrival time. Because clock updates are
+// max/plus operations over a fixed dependency graph, measured virtual times
+// are deterministic regardless of goroutine scheduling.
+package vclock
+
+import "fmt"
+
+// Time is a point in (or duration of) virtual time, in nanoseconds.
+// The zero Time is the session epoch.
+type Time int64
+
+// Common durations.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Micros returns a duration of n microseconds. Fractional microseconds are
+// preserved with nanosecond resolution.
+func Micros(n float64) Time { return Time(n * float64(Microsecond)) }
+
+// Microseconds reports t as a floating-point number of microseconds.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// Seconds reports t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats t with microsecond units, which is the natural scale for
+// the latencies in the paper.
+func (t Time) String() string { return fmt.Sprintf("%.3fµs", t.Microseconds()) }
+
+// Max returns the later of a and b.
+func Max(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Min returns the earlier of a and b.
+func Min(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TimeForBytes returns the time needed to move n bytes at rate mbps,
+// where 1 MB/s = 1e6 bytes per second (the convention used throughout the
+// paper's figures). A non-positive rate yields zero time; callers model
+// "infinitely fast" components that way.
+func TimeForBytes(n int, mbps float64) Time {
+	if mbps <= 0 || n <= 0 {
+		return 0
+	}
+	return Time(float64(n) * 1000.0 / mbps)
+}
+
+// MBps converts n bytes moved in d of virtual time into a bandwidth in
+// MB/s (1 MB = 1e6 bytes). It returns 0 for non-positive durations.
+func MBps(n int, d Time) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(n) * 1000.0 / float64(d)
+}

@@ -1,0 +1,197 @@
+// Package via re-implements the contract of the Virtual Interface
+// Architecture (Dunning et al., IEEE Micro 1998), one of the non
+// message-passing interfaces whose support motivated the Madeleine II
+// redesign, on top of the simulated fabric.
+//
+// The VIA model: communication happens over connected Virtual Interfaces
+// (VIs). All memory touched by the NIC must be registered (pinned) first.
+// The receiver pre-posts receive descriptors pointing at registered
+// regions; a send consumes the head posted descriptor at the peer — if none
+// is posted the reliable-delivery VI breaks (ErrReceiverNotReady).
+// Completions are reaped from a completion queue.
+package via
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"madeleine2/internal/model"
+	"madeleine2/internal/simnet"
+	"madeleine2/internal/vclock"
+)
+
+// Network is the fabric name VIA adapters attach to.
+const Network = "via"
+
+// ErrReceiverNotReady reports a send that found no posted receive
+// descriptor at the peer; on a reliable-delivery VI this is fatal for the
+// connection, so callers (Madeleine's VIA PMM) pre-post conservatively.
+var ErrReceiverNotReady = errors.New("via: receiver not ready (no posted descriptor)")
+
+// ErrNotRegistered reports use of an unregistered memory region.
+var ErrNotRegistered = errors.New("via: memory region not registered")
+
+// ErrTooSmall reports a posted receive descriptor smaller than the payload.
+var ErrTooSmall = errors.New("via: posted descriptor smaller than payload")
+
+// NIC is one node's VIA provider instance.
+type NIC struct {
+	adapter *simnet.Adapter
+	mu      sync.Mutex
+	vis     map[int]*VI
+}
+
+var nicRegistry sync.Map // *simnet.Adapter -> *NIC
+
+// Attach opens the VIA provider on the idx-th VIA adapter of node n.
+func Attach(n *simnet.Node, idx int) (*NIC, error) {
+	a, err := n.Adapter(Network, idx)
+	if err != nil {
+		return nil, fmt.Errorf("via: %w", err)
+	}
+	nic := &NIC{adapter: a, vis: make(map[int]*VI)}
+	actual, _ := nicRegistry.LoadOrStore(a, nic)
+	return actual.(*NIC), nil
+}
+
+// Node reports the rank of the NIC's host.
+func (n *NIC) Node() int { return n.adapter.Node().ID() }
+
+// MemRegion is a registered (pinned) memory region.
+type MemRegion struct {
+	buf        []byte
+	registered bool
+}
+
+// Bytes exposes the region's memory.
+func (m *MemRegion) Bytes() []byte { return m.buf }
+
+// Register pins buf for NIC access, charging the per-page registration
+// cost to the actor.
+func (n *NIC) Register(a *vclock.Actor, buf []byte) *MemRegion {
+	pages := (len(buf) + model.VIAPageSize - 1) / model.VIAPageSize
+	if pages == 0 {
+		pages = 1
+	}
+	a.Advance(vclock.Time(pages) * model.VIARegister)
+	return &MemRegion{buf: buf, registered: true}
+}
+
+// Deregister unpins the region; further NIC use fails.
+func (m *MemRegion) Deregister() { m.registered = false }
+
+// completion is one entry of a VI's receive completion queue.
+type completion struct {
+	region *MemRegion
+	n      int
+	arrive vclock.Time
+}
+
+// VI is one endpoint of a connected Virtual Interface pair. Both sides
+// create a VI with the same id to form the connection.
+type VI struct {
+	nic    *NIC
+	id     int
+	dst    int // peer node
+	dstIdx int // peer adapter index
+	posted *simnet.Queue[*MemRegion]
+	comps  *simnet.Queue[completion]
+}
+
+// CreateVI creates (or returns) the local endpoint of VI id connected to
+// (dstNode, dstIdx). The peer must create the mirror endpoint before
+// traffic flows toward it.
+func (n *NIC) CreateVI(id, dstNode, dstIdx int) *VI {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if v, ok := n.vis[id]; ok {
+		return v
+	}
+	v := &VI{
+		nic:    n,
+		id:     id,
+		dst:    dstNode,
+		dstIdx: dstIdx,
+		posted: simnet.NewQueue[*MemRegion](),
+		comps:  simnet.NewQueue[completion](),
+	}
+	n.vis[id] = v
+	return v
+}
+
+// peerVI resolves the mirror endpoint of this VI.
+func (v *VI) peerVI() (*VI, error) {
+	pa, err := v.nic.adapter.Peer(v.dst, v.dstIdx)
+	if err != nil {
+		return nil, err
+	}
+	val, ok := nicRegistry.Load(pa)
+	if !ok {
+		return nil, fmt.Errorf("via: node %d has not attached to %s[%d]", v.dst, Network, v.dstIdx)
+	}
+	peer := val.(*NIC)
+	peer.mu.Lock()
+	defer peer.mu.Unlock()
+	pv, ok := peer.vis[v.id]
+	if !ok {
+		return nil, fmt.Errorf("via: peer node %d has no VI %d", v.dst, v.id)
+	}
+	return pv, nil
+}
+
+// PostRecv appends a registered region to the VI's receive descriptor
+// queue.
+func (v *VI) PostRecv(m *MemRegion) error {
+	if !m.registered {
+		return ErrNotRegistered
+	}
+	v.posted.Push(m)
+	return nil
+}
+
+// PostedRecvs reports the current depth of the receive descriptor queue.
+func (v *VI) PostedRecvs() int { return v.posted.Len() }
+
+// Send transmits the first n bytes of region m to the peer, consuming the
+// peer's head posted descriptor. link selects the send path's cost model
+// (descriptor send vs RDMA-style large transfer).
+func (v *VI) Send(a *vclock.Actor, m *MemRegion, n int, link model.Link) error {
+	if !m.registered {
+		return ErrNotRegistered
+	}
+	pv, err := v.peerVI()
+	if err != nil {
+		return err
+	}
+	dst, ok := pv.posted.TryPop()
+	if !ok {
+		return ErrReceiverNotReady
+	}
+	if len(dst.buf) < n {
+		return ErrTooSmall
+	}
+	a.Advance(link.Fixed / 2) // doorbell + descriptor processing on the host
+	start, _ := v.nic.adapter.TxEngine().Acquire(a.Now(), link.ByteTime(n))
+	arrive := start + link.Time(n) - link.Fixed/2 // the other half of the fixed cost is wire-side
+	copy(dst.buf, m.buf[:n])
+	pv.comps.Push(completion{region: dst, n: n, arrive: arrive})
+	return nil
+}
+
+// WaitRecv blocks for the next receive completion, synchronizes the
+// actor's clock to the arrival, and returns the filled region and length.
+func (v *VI) WaitRecv(a *vclock.Actor) (*MemRegion, int, error) {
+	c, ok := v.comps.Pop()
+	if !ok {
+		return nil, 0, fmt.Errorf("via: completion queue closed")
+	}
+	a.Sync(c.arrive)
+	return c.region, c.n, nil
+}
+
+// Close shuts the VI's queues down.
+func (v *VI) Close() {
+	v.posted.Close()
+	v.comps.Close()
+}

@@ -1,0 +1,163 @@
+package via
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"madeleine2/internal/model"
+	"madeleine2/internal/simnet"
+	"madeleine2/internal/vclock"
+)
+
+func pair(t *testing.T) (*NIC, *NIC) {
+	t.Helper()
+	w := simnet.NewWorld(2)
+	w.Node(0).AddAdapter(Network)
+	w.Node(1).AddAdapter(Network)
+	n0, err := Attach(w.Node(0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1, err := Attach(w.Node(1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n0, n1
+}
+
+func TestAttachErrors(t *testing.T) {
+	w := simnet.NewWorld(1)
+	if _, err := Attach(w.Node(0), 0); err == nil {
+		t.Error("attach without a VIA adapter must fail")
+	}
+}
+
+func TestRegistrationCost(t *testing.T) {
+	n0, _ := pair(t)
+	a := vclock.NewActor("app")
+	m := n0.Register(a, make([]byte, 3*model.VIAPageSize))
+	if a.Now() != 3*model.VIARegister {
+		t.Errorf("3-page registration cost = %v, want %v", a.Now(), 3*model.VIARegister)
+	}
+	if !bytes.Equal(m.Bytes(), make([]byte, 3*model.VIAPageSize)) {
+		t.Error("region bytes not exposed")
+	}
+	a.SetNow(0)
+	n0.Register(a, nil) // zero-length still costs one page entry
+	if a.Now() != model.VIARegister {
+		t.Errorf("empty registration cost = %v", a.Now())
+	}
+}
+
+func TestSendRecvOverVI(t *testing.T) {
+	n0, n1 := pair(t)
+	v0 := n0.CreateVI(1, 1, 0)
+	v1 := n1.CreateVI(1, 0, 0)
+	s, r := vclock.NewActor("s"), vclock.NewActor("r")
+
+	rbuf := n1.Register(r, make([]byte, 4096))
+	if err := v1.PostRecv(rbuf); err != nil {
+		t.Fatal(err)
+	}
+	if v1.PostedRecvs() != 1 {
+		t.Fatalf("PostedRecvs = %d", v1.PostedRecvs())
+	}
+	sbuf := n0.Register(s, make([]byte, 4096))
+	copy(sbuf.Bytes(), "via payload")
+	if err := v0.Send(s, sbuf, 11, model.VIASend); err != nil {
+		t.Fatal(err)
+	}
+	got, n, err := v1.WaitRecv(r)
+	if err != nil || n != 11 || !bytes.Equal(got.Bytes()[:n], []byte("via payload")) {
+		t.Fatalf("recv: %q/%d/%v", got.Bytes()[:n], n, err)
+	}
+	// One-way time = registration (already on r's clock) + send path.
+	if r.Now() < model.VIASend.Time(11) {
+		t.Errorf("arrival %v earlier than the send path %v", r.Now(), model.VIASend.Time(11))
+	}
+}
+
+func TestReceiverNotReady(t *testing.T) {
+	n0, n1 := pair(t)
+	v0 := n0.CreateVI(2, 1, 0)
+	n1.CreateVI(2, 0, 0) // mirror exists but posts nothing
+	s := vclock.NewActor("s")
+	m := n0.Register(s, make([]byte, 64))
+	if err := v0.Send(s, m, 8, model.VIASend); !errors.Is(err, ErrReceiverNotReady) {
+		t.Errorf("err = %v, want ErrReceiverNotReady", err)
+	}
+}
+
+func TestUnregisteredAndSmallDescriptors(t *testing.T) {
+	n0, n1 := pair(t)
+	v0 := n0.CreateVI(3, 1, 0)
+	v1 := n1.CreateVI(3, 0, 0)
+	s, r := vclock.NewActor("s"), vclock.NewActor("r")
+
+	m := n0.Register(s, make([]byte, 64))
+	m.Deregister()
+	if err := v0.Send(s, m, 8, model.VIASend); !errors.Is(err, ErrNotRegistered) {
+		t.Errorf("deregistered send err = %v", err)
+	}
+	if err := v1.PostRecv(m); !errors.Is(err, ErrNotRegistered) {
+		t.Errorf("deregistered post err = %v", err)
+	}
+	small := n1.Register(r, make([]byte, 4))
+	v1.PostRecv(small)
+	big := n0.Register(s, make([]byte, 64))
+	if err := v0.Send(s, big, 64, model.VIASend); !errors.Is(err, ErrTooSmall) {
+		t.Errorf("oversized send err = %v", err)
+	}
+}
+
+func TestMissingPeerVI(t *testing.T) {
+	n0, _ := pair(t)
+	v0 := n0.CreateVI(9, 1, 0)
+	s := vclock.NewActor("s")
+	m := n0.Register(s, make([]byte, 8))
+	if err := v0.Send(s, m, 8, model.VIASend); err == nil {
+		t.Error("send without a mirror VI must fail")
+	}
+}
+
+func TestCreateVIIdempotent(t *testing.T) {
+	n0, _ := pair(t)
+	a := n0.CreateVI(5, 1, 0)
+	b := n0.CreateVI(5, 1, 0)
+	if a != b {
+		t.Error("CreateVI with the same id must return the same endpoint")
+	}
+}
+
+func TestCompletionOrderAndClose(t *testing.T) {
+	n0, n1 := pair(t)
+	v0 := n0.CreateVI(7, 1, 0)
+	v1 := n1.CreateVI(7, 0, 0)
+	s, r := vclock.NewActor("s"), vclock.NewActor("r")
+	for i := 0; i < 4; i++ {
+		v1.PostRecv(n1.Register(r, make([]byte, 16)))
+	}
+	m := n0.Register(s, make([]byte, 16))
+	for i := 0; i < 4; i++ {
+		m.Bytes()[0] = byte(i)
+		if err := v0.Send(s, m, 1, model.VIASend); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prev := vclock.Time(-1)
+	for i := 0; i < 4; i++ {
+		got, n, err := v1.WaitRecv(r)
+		if err != nil || n != 1 || got.Bytes()[0] != byte(i) {
+			t.Fatalf("completion %d: %v/%d/%v", i, got.Bytes()[:1], n, err)
+		}
+		if r.Now() < prev {
+			t.Errorf("completion %d regressed in time", i)
+		}
+		prev = r.Now()
+	}
+	v1.Close()
+	if _, _, err := v1.WaitRecv(r); err == nil {
+		t.Error("WaitRecv on a closed VI must fail")
+	}
+}
