@@ -13,6 +13,12 @@ import (
 // Communication on one channel never interferes with another channel, and
 // in-order delivery is guaranteed per point-to-point connection within a
 // channel.
+//
+// A channel is safe for concurrent use: many actors may drive disjoint
+// connections simultaneously, and one connection supports a concurrent
+// send and receive (full duplex). Exclusive ownership of a connection
+// direction is taken per message through the direction's lease — see
+// BeginPacking/BeginUnpacking.
 type Channel struct {
 	sess    *Session
 	name    string
@@ -34,8 +40,10 @@ type Channel struct {
 func (c *Channel) Name() string { return c.name }
 
 // Close shuts the channel's receive side down: a blocked or future
-// BeginUnpacking returns ErrClosed once pending messages drain. Used by
-// layers that run receiver daemons over a channel (forwarding, MPI, Nexus).
+// BeginUnpacking returns ErrClosed once pending messages drain, and a
+// peer's Pack/EndPacking toward this channel reports ErrClosed instead of
+// silently dropping traffic. Used by layers that run receiver daemons over
+// a channel (forwarding, MPI, Nexus). Idempotent.
 func (c *Channel) Close() { c.incoming.Close() }
 
 // Rank reports the local process rank.
@@ -60,25 +68,74 @@ func (c *Channel) conn(remote int) (*ConnState, error) {
 	return cs, nil
 }
 
+// lease is the exclusive-ownership token of one connection direction. An
+// actor acquires it for the span of one message (Begin… to End…); a
+// contended acquisition blocks until the current holder releases and then
+// synchronizes the acquirer's virtual clock to the release time — waiting
+// costs virtual time through the existing queue machinery, not wall-clock
+// lock order. Uncontended single-actor flows are unchanged: an actor
+// re-acquiring its own release stamp never moves its clock.
+type lease struct {
+	q *simnet.Queue[vclock.Time]
+}
+
+func newLease() lease {
+	l := lease{q: simnet.NewQueue[vclock.Time]()}
+	l.q.Push(0)
+	return l
+}
+
+// acquire blocks until the lease is free and syncs a to the release stamp.
+func (l lease) acquire(a *vclock.Actor) {
+	t, _ := l.q.Pop()
+	a.Sync(t)
+}
+
+// release hands the lease back, stamped with the holder's current time.
+func (l lease) release(a *vclock.Actor) { l.q.Push(a.Now()) }
+
+// msgState is the per-message mutable state of one in-flight message: the
+// Switch step's current TM plus the announce/packed latches. It is owned
+// by the Connection (one per message), never by the shared ConnState, so
+// concurrent messages on one channel cannot corrupt each other.
+type msgState struct {
+	tm        TM // current Switch-step TM (nil before the first block)
+	announced bool
+	packed    bool
+}
+
 // ConnState is the per-(channel, peer) connection state shared by both
-// directions: the Switch step's current TM, the BMM instances, and the
-// protocol module's private resources.
+// directions. It holds only long-lived resources — the BMM instances and
+// the protocol module's private resources — each guarded by the owning
+// direction's lease: send-path TM methods run under the send lease,
+// receive-path methods under the receive lease, and the two never share
+// mutable fields (full duplex).
 type ConnState struct {
 	ch     *Channel
 	local  int
 	remote int
 
-	// send direction
-	sTM       TM
-	sBMMs     map[TM]BMM
-	announced bool
-	packed    bool
+	// Per-direction leases: exclusive ownership of a direction for the
+	// span of one message.
+	send lease
+	recv lease
 
-	// receive direction
-	rTM   TM
+	// Long-lived BMM instances, lazily created; sBMMs is guarded by the
+	// send lease, rBMMs by the receive lease.
+	sBMMs map[TM]BMM
 	rBMMs map[TM]BMM
 
-	// Priv holds the protocol module's per-connection resources.
+	// sendMsg binds the send-lease holder's per-message state while a
+	// message is in construction, so TMs can reach Announce's latch
+	// without carrying the Connection through the TM interface. Written
+	// only under the send lease.
+	sendMsg *msgState
+
+	// Priv holds the protocol module's per-connection resources. The
+	// module must partition it by direction: send-path methods
+	// (SendBuffer, ObtainStaticBuffer, …) and receive-path methods
+	// (ReceiveBuffer, ReleaseStaticBuffer, …) may not mutate shared
+	// fields, because a send and a receive can run concurrently.
 	Priv any
 }
 
@@ -92,20 +149,31 @@ func (cs *ConnState) Remote() int { return cs.remote }
 // Announce notifies the peer's channel of a new incoming message. Every TM
 // calls it before a message's first wire operation; only the first call per
 // message has an effect. It models the receiver's connection-polling loop
-// observing the first packet, so it carries no extra wire cost.
-func (cs *ConnState) Announce() {
-	if cs.announced {
-		return
+// observing the first packet, so it carries no extra wire cost. It returns
+// ErrClosed when the peer has shut its receive side down, and a descriptive
+// error when the session is misconfigured (the peer never created the
+// channel); both are threaded back through Pack/EndPacking.
+func (cs *ConnState) Announce() error {
+	m := cs.sendMsg
+	if m == nil {
+		return fmt.Errorf("core: Announce outside a message on channel %q", cs.ch.name)
 	}
-	cs.announced = true
+	if m.announced {
+		return nil
+	}
 	peer := cs.ch.sess.channelOn(cs.ch.name, cs.remote)
 	if peer == nil {
-		panic(fmt.Sprintf("core: channel %q missing on rank %d", cs.ch.name, cs.remote))
+		return fmt.Errorf("core: misconfigured session: channel %q missing on rank %d", cs.ch.name, cs.remote)
 	}
-	peer.incoming.Push(cs.local)
+	if !peer.incoming.PushIfOpen(cs.local) {
+		return fmt.Errorf("core: channel %q on rank %d: %w", cs.ch.name, cs.remote, ErrClosed)
+	}
+	m.announced = true
+	return nil
 }
 
 // sendBMM returns (creating lazily) the BMM instance for a send-side TM.
+// Called only under the send lease.
 func (cs *ConnState) sendBMM(tm TM) BMM {
 	if cs.sBMMs == nil {
 		cs.sBMMs = make(map[TM]BMM)
@@ -119,6 +187,7 @@ func (cs *ConnState) sendBMM(tm TM) BMM {
 }
 
 // recvBMM returns (creating lazily) the BMM instance for a receive-side TM.
+// Called only under the receive lease.
 func (cs *ConnState) recvBMM(tm TM) BMM {
 	if cs.rBMMs == nil {
 		cs.rBMMs = make(map[TM]BMM)
@@ -132,12 +201,16 @@ func (cs *ConnState) recvBMM(tm TM) BMM {
 }
 
 // Connection is the user handle returned by BeginPacking/BeginUnpacking:
-// one in-construction (or in-extraction) message on one connection.
+// one in-construction (or in-extraction) message on one connection. It
+// owns the message's mutable state and the direction's lease; the matching
+// End call releases both. A Connection belongs to the actor that began it
+// and is not itself safe for concurrent use.
 type Connection struct {
 	cs      *ConnState
 	actor   *vclock.Actor
 	sending bool
 	open    bool
+	msg     msgState
 }
 
 // Remote reports the peer rank of the connection.
@@ -151,14 +224,18 @@ func (cn *Connection) Channel() *Channel { return cn.cs.ch }
 
 // BeginPacking initiates a new message toward remote on the channel
 // (mad_begin_packing). The actor is the calling thread's virtual clock.
+// It acquires the connection's send lease, blocking in virtual time while
+// another actor has a message toward the same remote in construction;
+// EndPacking releases the lease (even on error).
 func (c *Channel) BeginPacking(a *vclock.Actor, remote int) (*Connection, error) {
 	cs, err := c.conn(remote)
 	if err != nil {
 		return nil, err
 	}
-	cs.announced = false
-	cs.packed = false
-	return &Connection{cs: cs, actor: a, sending: true, open: true}, nil
+	cs.send.acquire(a)
+	cn := &Connection{cs: cs, actor: a, sending: true, open: true}
+	cs.sendMsg = &cn.msg
+	return cn, nil
 }
 
 // Pack appends one data block to the message (mad_pack). The block's
@@ -168,51 +245,61 @@ func (cn *Connection) Pack(data []byte, sm SendMode, rm RecvMode) error {
 	if !cn.open || !cn.sending {
 		return ErrBadState
 	}
-	cs := cn.cs
+	cs, m := cn.cs, &cn.msg
 	tm := cs.ch.pmm.Select(len(data), sm, rm)
 	// Switch step: changing TM flushes the previous BMM to keep the wire
 	// order identical to the pack order (§4.1).
-	if cs.sTM != nil && cs.sTM != tm {
-		if err := cs.sendBMM(cs.sTM).Commit(cn.actor); err != nil {
+	if m.tm != nil && m.tm != tm {
+		if err := cs.sendBMM(m.tm).Commit(cn.actor); err != nil {
 			return err
 		}
-		cs.ch.stats.add(func(s *ChannelStats) { s.Commits++ })
+		cs.ch.stats.commits.Add(1)
 	}
-	cs.sTM = tm
-	cs.packed = true
+	m.tm = tm
+	m.packed = true
 	cs.ch.stats.packed(tm.Name(), len(data))
 	cn.actor.Advance(model.MadPackCost)
 	return cs.sendBMM(tm).Pack(cn.actor, data, sm, rm)
 }
 
 // EndPacking finalizes the message (mad_end_packing): every delayed block
-// is flushed to the network.
+// is flushed to the network. It always releases the send lease, so the
+// error paths (empty message, commit failure) leave the connection ready
+// for the next BeginPacking.
 func (cn *Connection) EndPacking() error {
 	if !cn.open || !cn.sending {
 		return ErrBadState
 	}
 	cn.open = false
-	cs := cn.cs
-	if !cs.packed {
+	cs, m := cn.cs, &cn.msg
+	defer func() {
+		cs.sendMsg = nil
+		cs.send.release(cn.actor)
+	}()
+	if !m.packed {
 		return ErrEmptyMessage
 	}
-	if cs.sTM != nil {
-		if err := cs.sendBMM(cs.sTM).Commit(cn.actor); err != nil {
+	if m.tm != nil {
+		if err := cs.sendBMM(m.tm).Commit(cn.actor); err != nil {
 			return err
 		}
-		cs.sTM = nil
+		m.tm = nil
 	}
-	if !cs.announced {
+	if !m.announced {
 		// Nothing reached the wire: LATER-only messages flush above, so
 		// this cannot happen with a conforming PMM.
 		return fmt.Errorf("core: message finished without wire traffic on %s", cs.ch.name)
 	}
-	cs.ch.stats.add(func(s *ChannelStats) { s.MessagesOut++ })
+	cs.ch.stats.messagesOut.Add(1)
 	return nil
 }
 
 // BeginUnpacking starts the extraction of the first incoming message on
-// the channel (mad_begin_unpacking) and returns its connection.
+// the channel (mad_begin_unpacking) and returns its connection. It blocks
+// until a message announcement arrives, then acquires the announced
+// connection's receive lease. A closed channel reports exactly ErrClosed
+// once pending messages drain, whether the call was already blocked when
+// Close ran or issued afterwards.
 func (c *Channel) BeginUnpacking(a *vclock.Actor) (*Connection, error) {
 	remote, ok := c.incoming.Pop()
 	if !ok {
@@ -222,6 +309,7 @@ func (c *Channel) BeginUnpacking(a *vclock.Actor) (*Connection, error) {
 	if err != nil {
 		return nil, err
 	}
+	cs.recv.acquire(a)
 	return &Connection{cs: cs, actor: a, sending: false, open: true}, nil
 }
 
@@ -231,15 +319,15 @@ func (cn *Connection) Unpack(dst []byte, sm SendMode, rm RecvMode) error {
 	if !cn.open || cn.sending {
 		return ErrBadState
 	}
-	cs := cn.cs
+	cs, m := cn.cs, &cn.msg
 	tm := cs.ch.pmm.Select(len(dst), sm, rm)
-	if cs.rTM != nil && cs.rTM != tm {
-		if err := cs.recvBMM(cs.rTM).Checkout(cn.actor); err != nil {
+	if m.tm != nil && m.tm != tm {
+		if err := cs.recvBMM(m.tm).Checkout(cn.actor); err != nil {
 			return err
 		}
-		cs.ch.stats.add(func(s *ChannelStats) { s.Checkouts++ })
+		cs.ch.stats.checkouts.Add(1)
 	}
-	cs.rTM = tm
+	m.tm = tm
 	cs.ch.stats.unpacked(len(dst))
 	// The per-block extraction cost (model.MadUnpackCost) is charged by
 	// the BMM when the block is actually extracted, so it lands after the
@@ -248,20 +336,21 @@ func (cn *Connection) Unpack(dst []byte, sm SendMode, rm RecvMode) error {
 }
 
 // EndUnpacking finalizes the reception (mad_end_unpacking): every deferred
-// block is extracted and available.
+// block is extracted and available. It always releases the receive lease.
 func (cn *Connection) EndUnpacking() error {
 	if !cn.open || cn.sending {
 		return ErrBadState
 	}
 	cn.open = false
-	cs := cn.cs
-	if cs.rTM != nil {
-		if err := cs.recvBMM(cs.rTM).Checkout(cn.actor); err != nil {
+	cs, m := cn.cs, &cn.msg
+	defer cs.recv.release(cn.actor)
+	if m.tm != nil {
+		if err := cs.recvBMM(m.tm).Checkout(cn.actor); err != nil {
 			return err
 		}
-		cs.rTM = nil
+		m.tm = nil
 	}
-	cs.ch.stats.add(func(s *ChannelStats) { s.MessagesIn++ })
+	cs.ch.stats.messagesIn.Add(1)
 	return nil
 }
 

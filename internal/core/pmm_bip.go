@@ -61,10 +61,12 @@ func (p *bipPMM) Link(n int) model.Link {
 	return l
 }
 
-// bipConn is the per-connection BIP state.
+// bipConn is the per-connection BIP state, partitioned by direction:
+// credits belongs to the send path (send lease), consumed to the receive
+// path (receive lease).
 type bipConn struct {
-	credits  int // short-send credits toward the peer
-	consumed int // short buffers consumed since the last credit return
+	credits  int // short-send credits toward the peer (send lease)
+	consumed int // short buffers consumed since the last credit return (receive lease)
 }
 
 func (p *bipPMM) PreConnect(cs *ConnState) error {
@@ -107,7 +109,9 @@ func (t *bipShortTM) SendBuffer(a *vclock.Actor, cs *ConnState, data []byte) err
 		}
 		st.credits += int(msg[0])
 	}
-	cs.Announce()
+	if err := cs.Announce(); err != nil {
+		return err
+	}
 	a.Advance(bipShortTMCost)
 	if err := t.p.iface.TSendShort(a, cs.Remote(), t.p.dataTag, data); err != nil {
 		return err
@@ -171,7 +175,9 @@ func (t *bipLongTM) NewBMM(cs *ConnState) BMM { return newEagerDyn(t, cs) }
 func (t *bipLongTM) StaticSize() int { return 0 }
 
 func (t *bipLongTM) SendBuffer(a *vclock.Actor, cs *ConnState, data []byte) error {
-	cs.Announce()
+	if err := cs.Announce(); err != nil {
+		return err
+	}
 	return t.p.iface.TSendLong(a, cs.Remote(), t.p.dataTag, data)
 }
 

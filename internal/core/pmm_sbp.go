@@ -33,15 +33,24 @@ func (p *sbpPMM) Name() string                              { return "sbp" }
 func (p *sbpPMM) Select(n int, sm SendMode, rm RecvMode) TM { return p.tm }
 func (p *sbpPMM) Link(n int) model.Link                     { return model.SBP }
 func (p *sbpPMM) PreConnect(cs *ConnState) error {
-	cs.Priv = &sbpConn{bufs: map[*byte]*sbp.Buf{}}
+	cs.Priv = &sbpConn{
+		sendBufs: map[*byte]*sbp.Buf{},
+		recvBufs: map[*byte]*sbp.Buf{},
+	}
 	return nil
 }
 func (p *sbpPMM) Connect(cs *ConnState) error { return nil }
 
 // sbpConn maps outstanding static buffer payloads back to their kernel
-// buffers.
+// buffers, one map per direction: sendBufs tracks buffers obtained for
+// packing (send lease: ObtainStaticBuffer/SendBuffer), recvBufs tracks
+// buffers handed out by the kernel on receive (receive lease:
+// ReceiveStaticBuffer/ReleaseStaticBuffer). Keeping them separate lets a
+// concurrent send and receive on the same connection proceed without a
+// shared map.
 type sbpConn struct {
-	bufs map[*byte]*sbp.Buf
+	sendBufs map[*byte]*sbp.Buf
+	recvBufs map[*byte]*sbp.Buf
 }
 
 type sbpTM struct{ p *sbpPMM }
@@ -53,35 +62,36 @@ func (t *sbpTM) StaticSize() int          { return sbp.BufSize }
 
 func sbpState(cs *ConnState) *sbpConn { return cs.Priv.(*sbpConn) }
 
-func (t *sbpTM) track(cs *ConnState, b *sbp.Buf) []byte {
+func sbpTrack(bufs map[*byte]*sbp.Buf, b *sbp.Buf) []byte {
 	data := b.Bytes()
-	sbpState(cs).bufs[&data[0]] = b
+	bufs[&data[0]] = b
 	return data
 }
 
-func (t *sbpTM) lookup(cs *ConnState, data []byte) (*sbp.Buf, error) {
+func sbpLookup(bufs map[*byte]*sbp.Buf, data []byte) (*sbp.Buf, error) {
 	if len(data) == 0 {
 		return nil, fmt.Errorf("core: empty sbp buffer")
 	}
-	st := sbpState(cs)
-	b := st.bufs[&data[0]]
+	b := bufs[&data[0]]
 	if b == nil {
 		return nil, fmt.Errorf("core: sbp payload does not belong to a kernel static buffer")
 	}
-	delete(st.bufs, &data[0])
+	delete(bufs, &data[0])
 	return b, nil
 }
 
 func (t *sbpTM) ObtainStaticBuffer(a *vclock.Actor, cs *ConnState) ([]byte, error) {
-	return t.track(cs, t.p.ep.ObtainBuffer()), nil
+	return sbpTrack(sbpState(cs).sendBufs, t.p.ep.ObtainBuffer()), nil
 }
 
 func (t *sbpTM) SendBuffer(a *vclock.Actor, cs *ConnState, data []byte) error {
-	b, err := t.lookup(cs, data)
+	b, err := sbpLookup(sbpState(cs).sendBufs, data)
 	if err != nil {
 		return err
 	}
-	cs.Announce()
+	if err := cs.Announce(); err != nil {
+		return err
+	}
 	return t.p.ep.Send(a, cs.Remote(), t.p.lane, b, len(data))
 }
 
@@ -99,11 +109,11 @@ func (t *sbpTM) ReceiveStaticBuffer(a *vclock.Actor, cs *ConnState) ([]byte, err
 	if err != nil {
 		return nil, err
 	}
-	return t.track(cs, b)[:n], nil
+	return sbpTrack(sbpState(cs).recvBufs, b)[:n], nil
 }
 
 func (t *sbpTM) ReleaseStaticBuffer(a *vclock.Actor, cs *ConnState, buf []byte) error {
-	b, err := t.lookup(cs, buf)
+	b, err := sbpLookup(sbpState(cs).recvBufs, buf)
 	if err != nil {
 		return err
 	}

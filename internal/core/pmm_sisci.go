@@ -70,7 +70,10 @@ func (p *sisciPMM) Link(n int) model.Link { return p.Select(n, SendCheaper, Rece
 func (p *sisciPMM) ringID(peer int) uint32 { return uint32(p.chanID)<<16 | uint32(peer)<<1 }
 func (p *sisciPMM) ackID(peer int) uint32  { return uint32(p.chanID)<<16 | uint32(peer)<<1 | 1 }
 
-// sciConn is the per-connection SISCI state.
+// sciConn is the per-connection SISCI state, partitioned by direction so a
+// concurrent send and receive never share a mutable field: the send path
+// (under the send lease) owns wSlot/freeSlots and drains ack; the receive
+// path (under the receive lease) owns consumed and writes ackOut.
 type sciConn struct {
 	ring *sisci.LocalSegment // incoming data from the peer
 	ack  *sisci.LocalSegment // incoming slot credits for our sends
@@ -78,9 +81,9 @@ type sciConn struct {
 	out    *sisci.RemoteSegment // the peer's ring, mapped
 	ackOut *sisci.RemoteSegment // the peer's ack segment, mapped
 
-	wSlot     int // next slot to write
-	freeSlots int
-	consumed  int // slots consumed since the last credit write
+	wSlot     int // next slot to write (send lease)
+	freeSlots int // (send lease)
+	consumed  int // slots consumed since the last credit write (receive lease)
 }
 
 func (p *sisciPMM) PreConnect(cs *ConnState) error {
@@ -130,7 +133,9 @@ func (p *sisciPMM) writeSlot(a *vclock.Actor, cs *ConnState, data []byte, link m
 		}
 		st.freeSlots += int(tag)
 	}
-	cs.Announce()
+	if err := cs.Announce(); err != nil {
+		return err
+	}
 	st.out.MemCpy(a, st.wSlot*sciSlotSize, data, link, uint64(len(data)))
 	st.wSlot = (st.wSlot + 1) % sciRingSlots
 	st.freeSlots--
@@ -245,7 +250,9 @@ func (t *sciStreamTM) SendBuffer(a *vclock.Actor, cs *ConnState, data []byte) er
 			if err := t.p.waitSlotCredit(a, st); err != nil {
 				return err
 			}
-			cs.Announce()
+			if err := cs.Announce(); err != nil {
+				return err
+			}
 			st.out.DMAPost(a, st.wSlot*sciSlotSize, data[off:end], uint64(end-off))
 			st.wSlot = (st.wSlot + 1) % sciRingSlots
 			st.freeSlots--

@@ -33,7 +33,8 @@ func (p *tcpPMM) PreConnect(cs *ConnState) error            { cs.Priv = &tcpConn
 func (p *tcpPMM) Connect(cs *ConnState) error               { return nil }
 
 // tcpConn keeps the receive-side residue of a partially consumed kernel
-// message (a group read in several sub-group calls).
+// message (a group read in several sub-group calls). Receive-direction
+// only: the receive lease guards it, and the send path never touches it.
 type tcpConn struct {
 	residue []byte
 }
@@ -46,7 +47,9 @@ func (t *tcpTM) NewBMM(cs *ConnState) BMM { return newAggrDyn(t, cs) }
 func (t *tcpTM) StaticSize() int          { return 0 }
 
 func (t *tcpTM) SendBuffer(a *vclock.Actor, cs *ConnState, data []byte) error {
-	cs.Announce()
+	if err := cs.Announce(); err != nil {
+		return err
+	}
 	return t.p.ep.Send(a, cs.Remote(), t.p.port, data)
 }
 
@@ -59,7 +62,9 @@ func (t *tcpTM) SendBufferGroup(a *vclock.Actor, cs *ConnState, group [][]byte) 
 	for _, g := range group {
 		msg = append(msg, g...)
 	}
-	cs.Announce()
+	if err := cs.Announce(); err != nil {
+		return err
+	}
 	return t.p.ep.Send(a, cs.Remote(), t.p.port, msg)
 }
 

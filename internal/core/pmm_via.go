@@ -84,7 +84,14 @@ const (
 	viCtrl
 )
 
-// viaConn is the per-connection VIA state.
+// viaConn is the per-connection VIA state, partitioned by direction so a
+// concurrent send and receive on the same connection never share a field:
+// the data ring, credits and waitCtrl belong to the send path (send lease);
+// the consumed counter, control ring and sendCtrl belong to the receive
+// path (receive lease). The ctrl VI itself is shared but its two ends are
+// direction-disjoint: the send path only drains completions (credit/READY
+// arrivals) while the receive path only transmits, and via.VI queues are
+// thread-safe.
 type viaConn struct {
 	short *via.VI
 	large *via.VI
@@ -209,7 +216,9 @@ func (t *viaShortTM) SendBuffer(a *vclock.Actor, cs *ConnState, data []byte) err
 	if err != nil {
 		return err
 	}
-	cs.Announce()
+	if err := cs.Announce(); err != nil {
+		return err
+	}
 	if err := st.short.Send(a, region, len(data), model.VIASend); err != nil {
 		return err
 	}
@@ -277,7 +286,9 @@ func (t *viaLargeTM) StaticSize() int          { return 0 }
 
 func (t *viaLargeTM) SendBuffer(a *vclock.Actor, cs *ConnState, data []byte) error {
 	st := viaState(cs)
-	cs.Announce()
+	if err := cs.Announce(); err != nil {
+		return err
+	}
 	// Register (pin) the user buffer, then wait for the receiver's READY —
 	// the posted registered destination is what makes the transfer legal.
 	region := t.p.nic.Register(a, data)

@@ -16,6 +16,23 @@ import (
 // DriverDef is an externally registered protocol module — the mechanism
 // behind optional Madeleine modules such as the MPI port ("Madeleine II
 // has also been ported quite straightforwardly on top of MPI", §5.3).
+//
+// Ownership contract. Per-message state lives in core (each Connection
+// carries its own message descriptor); a driver's ConnState.Priv holds only
+// long-lived per-connection resources. Core serializes access per
+// direction with virtual-time leases: every send-path TM method (NewBMM for
+// a send BMM, ObtainStaticBuffer, SendBuffer, SendBufferGroup, Announce)
+// runs under the connection's send lease, and every receive-path method
+// (ReceiveStaticBuffer, ReleaseStaticBuffer, ReceiveBuffer,
+// ReceiveSubBufferGroup) under its receive lease. A driver therefore sees
+// at most one in-flight message per connection per direction, but must
+// tolerate a send and a receive on the SAME connection running
+// concurrently (full duplex), and distinct connections of one channel being
+// driven by distinct actors in parallel. Concretely: partition any state
+// cached in Priv by direction (see the built-in PMMs — e.g. bipConn's
+// credits vs consumed, sbpConn's sendBufs vs recvBufs), and make any state
+// shared across connections (the PMM instance itself, the underlying
+// fabric endpoint) safe for concurrent use.
 type DriverDef struct {
 	// Name is the ChannelSpec.Driver value selecting the module.
 	Name string

@@ -104,7 +104,7 @@ func (s *Session) NewChannel(spec ChannelSpec) (map[int]*Channel, error) {
 			if peer == r {
 				continue
 			}
-			cs := &ConnState{ch: chans[r], local: r, remote: peer}
+			cs := &ConnState{ch: chans[r], local: r, remote: peer, send: newLease(), recv: newLease()}
 			chans[r].conns[peer] = cs
 			if err := chans[r].pmm.(preconnector).PreConnect(cs); err != nil {
 				return nil, fmt.Errorf("core: channel %q preconnect %d->%d: %w", spec.Name, r, peer, err)

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // ChannelStats is a snapshot of a channel's traffic accounting on one
@@ -32,44 +33,53 @@ func (s ChannelStats) String() string {
 		s.Commits, s.Checkouts, strings.Join(tms, " "))
 }
 
-// chanStats is the channel's live accounting.
+// chanStats is the channel's live accounting. Many actors mutate it
+// concurrently (disjoint connections of one channel, full-duplex traffic
+// on one connection), so the counters are atomics; only the per-TM
+// histogram needs a lock.
 type chanStats struct {
-	mu sync.Mutex
-	s  ChannelStats
+	messagesOut, messagesIn atomic.Int64
+	blocksOut, blocksIn     atomic.Int64
+	bytesOut, bytesIn       atomic.Int64
+	commits, checkouts      atomic.Int64
+
+	mu       sync.Mutex
+	tmBlocks map[string]int64
 }
 
 func (cs *chanStats) packed(tm string, n int) {
+	cs.blocksOut.Add(1)
+	cs.bytesOut.Add(int64(n))
 	cs.mu.Lock()
-	defer cs.mu.Unlock()
-	cs.s.BlocksOut++
-	cs.s.BytesOut += int64(n)
-	if cs.s.TMBlocks == nil {
-		cs.s.TMBlocks = make(map[string]int64)
+	if cs.tmBlocks == nil {
+		cs.tmBlocks = make(map[string]int64)
 	}
-	cs.s.TMBlocks[tm]++
+	cs.tmBlocks[tm]++
+	cs.mu.Unlock()
 }
 
 func (cs *chanStats) unpacked(n int) {
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
-	cs.s.BlocksIn++
-	cs.s.BytesIn += int64(n)
-}
-
-func (cs *chanStats) add(f func(*ChannelStats)) {
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
-	f(&cs.s)
+	cs.blocksIn.Add(1)
+	cs.bytesIn.Add(int64(n))
 }
 
 // Stats snapshots the channel's accounting.
 func (c *Channel) Stats() ChannelStats {
+	out := ChannelStats{
+		MessagesOut: c.stats.messagesOut.Load(),
+		MessagesIn:  c.stats.messagesIn.Load(),
+		BlocksOut:   c.stats.blocksOut.Load(),
+		BlocksIn:    c.stats.blocksIn.Load(),
+		BytesOut:    c.stats.bytesOut.Load(),
+		BytesIn:     c.stats.bytesIn.Load(),
+		Commits:     c.stats.commits.Load(),
+		Checkouts:   c.stats.checkouts.Load(),
+	}
 	c.stats.mu.Lock()
-	defer c.stats.mu.Unlock()
-	out := c.stats.s
-	out.TMBlocks = make(map[string]int64, len(c.stats.s.TMBlocks))
-	for k, v := range c.stats.s.TMBlocks {
+	out.TMBlocks = make(map[string]int64, len(c.stats.tmBlocks))
+	for k, v := range c.stats.tmBlocks {
 		out.TMBlocks[k] = v
 	}
+	c.stats.mu.Unlock()
 	return out
 }

@@ -1,6 +1,7 @@
 package fwd
 
 import (
+	"errors"
 	"fmt"
 
 	"madeleine2/internal/core"
@@ -203,6 +204,9 @@ func (p *pipeline) run() {
 		}
 
 		if err := sendPacketOn(outCh, a, v.next[w.hdr.Dst].next, w.hdr, w.payload); err != nil {
+			if errors.Is(err, core.ErrClosed) {
+				return // outgoing channel closed mid-shutdown
+			}
 			panic(fmt.Sprintf("fwd pipeline %s: %v", a.Name(), err))
 		}
 		v.spec.Trace.Record(a.Name(), ready, a.Now(), "s")

@@ -57,7 +57,12 @@ type unexpected struct {
 
 // matcher is the per-channel matching engine and send engine, shared by a
 // communicator and every sub-communicator split from it. Like an MPI
-// process, the whole family belongs to one application thread.
+// process, the whole family belongs to one application thread — that
+// thread owns the matching state (pending) and drives the channel's
+// receive path, while the send engine thread drives its send path. The
+// two overlap freely on the same connection: core's per-direction leases
+// make a Madeleine channel full duplex, so no locking is needed here
+// beyond the sendQ handoff.
 type matcher struct {
 	ch      *core.Channel
 	pending []unexpected

@@ -160,7 +160,11 @@ func (s *Startpoint) RSR(a *vclock.Actor, handler uint32, buf *Buffer) error {
 	return conn.EndPacking()
 }
 
-// dispatch is the handler thread of one protocol module.
+// dispatch is the handler thread of one protocol module. It runs
+// concurrently with application threads issuing RSRs on the same channel
+// (including toward the same peer): core's per-direction leases make each
+// connection full duplex, so the dispatcher's receive path never contends
+// with a sender's state.
 func (p *Process) dispatch(ch *core.Channel) {
 	defer p.wg.Done()
 	a := vclock.NewActor(fmt.Sprintf("nexus-dispatch-%d-%s", p.rank, ch.Name()))

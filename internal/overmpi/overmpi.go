@@ -7,6 +7,16 @@
 // The module registers itself under a caller-chosen driver name through
 // core.RegisterDriver, demonstrating the external-module mechanism. Each
 // Madeleine channel multiplexes over one MPI tag.
+//
+// Ownership contract (see core.DriverDef): core invokes every send-path TM
+// method under the connection's send lease and every receive-path method
+// under its receive lease, so a driver sees at most one sender and one
+// receiver per connection at a time — but possibly concurrently with each
+// other, and concurrently with other connections of the same channel. This
+// module keeps no per-message state of its own (the communicator handles
+// its own locking), so it needs no Priv partitioning; drivers that do cache
+// per-connection state in Priv must split it by direction the way the
+// built-in PMMs do.
 package overmpi
 
 import (
@@ -85,7 +95,9 @@ func (t *tm) SendBuffer(a *vclock.Actor, cs *core.ConnState, data []byte) error 
 	if err != nil {
 		return err
 	}
-	cs.Announce()
+	if err := cs.Announce(); err != nil {
+		return err
+	}
 	return t.p.comm.SendAs(a, dst, t.p.tag, data)
 }
 

@@ -44,6 +44,21 @@ func (q *Queue[T]) Push(v T) {
 	q.cond.Signal()
 }
 
+// PushIfOpen appends v unless the queue is closed, reporting whether the
+// item was accepted. Layers whose producers may legitimately race a
+// receiver-side Close (a sender announcing a message to a channel being
+// shut down) use it to turn the shutdown into an error instead of a panic.
+func (q *Queue[T]) PushIfOpen(v T) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	q.items = append(q.items, v)
+	q.cond.Signal()
+	return true
+}
+
 // Pop removes and returns the head item, blocking until one is available.
 // ok is false if the queue was closed and drained.
 func (q *Queue[T]) Pop() (v T, ok bool) {
