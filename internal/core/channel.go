@@ -225,8 +225,9 @@ func (cn *Connection) Channel() *Channel { return cn.cs.ch }
 // BeginPacking initiates a new message toward remote on the channel
 // (mad_begin_packing). The actor is the calling thread's virtual clock.
 // It acquires the connection's send lease, blocking in virtual time while
-// another actor has a message toward the same remote in construction;
-// EndPacking releases the lease (even on error).
+// another actor has a message toward the same remote in construction; the
+// lease is released by EndPacking (on every path, even error) or by a
+// failed Pack, which aborts the message.
 func (c *Channel) BeginPacking(a *vclock.Actor, remote int) (*Connection, error) {
 	cs, err := c.conn(remote)
 	if err != nil {
@@ -238,9 +239,30 @@ func (c *Channel) BeginPacking(a *vclock.Actor, remote int) (*Connection, error)
 	return cn, nil
 }
 
+// abort tears the in-flight message down after a failed Pack/Unpack: it
+// closes the Connection and releases the direction's lease, so a failed
+// message can never wedge the connection — the next Begin… proceeds and
+// observes the underlying condition (e.g. ErrClosed) itself. A caller may
+// therefore bail out on a Pack/Unpack error without calling End…; the
+// matching End… on an aborted connection reports ErrBadState and touches
+// neither the lease nor the stats.
+func (cn *Connection) abort(err error) error {
+	cn.open = false
+	if cn.sending {
+		cn.cs.sendMsg = nil
+		cn.cs.send.release(cn.actor)
+	} else {
+		cn.cs.recv.release(cn.actor)
+	}
+	return err
+}
+
 // Pack appends one data block to the message (mad_pack). The block's
 // length and mode combination steer the Switch step's TM selection; the
-// matching Unpack must use the same length and modes (§2.2).
+// matching Unpack must use the same length and modes (§2.2). On error the
+// message is aborted: the send lease is released and the connection is
+// closed, so the caller simply returns the error — a subsequent EndPacking
+// is a no-op reporting ErrBadState.
 func (cn *Connection) Pack(data []byte, sm SendMode, rm RecvMode) error {
 	if !cn.open || !cn.sending {
 		return ErrBadState
@@ -251,7 +273,7 @@ func (cn *Connection) Pack(data []byte, sm SendMode, rm RecvMode) error {
 	// order identical to the pack order (§4.1).
 	if m.tm != nil && m.tm != tm {
 		if err := cs.sendBMM(m.tm).Commit(cn.actor); err != nil {
-			return err
+			return cn.abort(err)
 		}
 		cs.ch.stats.commits.Add(1)
 	}
@@ -259,7 +281,10 @@ func (cn *Connection) Pack(data []byte, sm SendMode, rm RecvMode) error {
 	m.packed = true
 	cs.ch.stats.packed(tm.Name(), len(data))
 	cn.actor.Advance(model.MadPackCost)
-	return cs.sendBMM(tm).Pack(cn.actor, data, sm, rm)
+	if err := cs.sendBMM(tm).Pack(cn.actor, data, sm, rm); err != nil {
+		return cn.abort(err)
+	}
+	return nil
 }
 
 // EndPacking finalizes the message (mad_end_packing): every delayed block
@@ -314,7 +339,9 @@ func (c *Channel) BeginUnpacking(a *vclock.Actor) (*Connection, error) {
 }
 
 // Unpack extracts one data block into dst (mad_unpack). Length and modes
-// must mirror the sender's Pack exactly.
+// must mirror the sender's Pack exactly. On error the message is aborted —
+// the receive lease is released and the connection closed — mirroring the
+// Pack contract, so the caller returns the error without EndUnpacking.
 func (cn *Connection) Unpack(dst []byte, sm SendMode, rm RecvMode) error {
 	if !cn.open || cn.sending {
 		return ErrBadState
@@ -323,7 +350,7 @@ func (cn *Connection) Unpack(dst []byte, sm SendMode, rm RecvMode) error {
 	tm := cs.ch.pmm.Select(len(dst), sm, rm)
 	if m.tm != nil && m.tm != tm {
 		if err := cs.recvBMM(m.tm).Checkout(cn.actor); err != nil {
-			return err
+			return cn.abort(err)
 		}
 		cs.ch.stats.checkouts.Add(1)
 	}
@@ -332,7 +359,10 @@ func (cn *Connection) Unpack(dst []byte, sm SendMode, rm RecvMode) error {
 	// The per-block extraction cost (model.MadUnpackCost) is charged by
 	// the BMM when the block is actually extracted, so it lands after the
 	// data's arrival for deferred (receive_CHEAPER) blocks too.
-	return cs.recvBMM(tm).Unpack(cn.actor, dst, rm)
+	if err := cs.recvBMM(tm).Unpack(cn.actor, dst, rm); err != nil {
+		return cn.abort(err)
+	}
+	return nil
 }
 
 // EndUnpacking finalizes the reception (mad_end_unpacking): every deferred

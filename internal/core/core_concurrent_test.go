@@ -10,6 +10,7 @@ import (
 
 	"madeleine2/internal/bip"
 	"madeleine2/internal/model"
+	"madeleine2/internal/sbp"
 	"madeleine2/internal/simnet"
 	"madeleine2/internal/tcpnet"
 	"madeleine2/internal/vclock"
@@ -333,9 +334,9 @@ func TestCloseRace(t *testing.T) {
 		if !errors.Is(err, ErrClosed) {
 			t.Errorf("Pack toward a closed channel: %v, want ErrClosed", err)
 		}
-		conn.EndPacking() // must still release the send lease
-		// The connection is reusable (the lease was not leaked): a fresh
-		// BeginPacking must not deadlock.
+		// The failed Pack aborted the message and released the send lease
+		// itself — callers bail out on a Pack error without EndPacking, so
+		// a fresh BeginPacking must not deadlock on a leaked lease.
 		conn2, err := chans[0].BeginPacking(a, 1)
 		if err != nil {
 			t.Fatal(err)
@@ -343,7 +344,81 @@ func TestCloseRace(t *testing.T) {
 		if err := conn2.EndPacking(); !errors.Is(err, ErrEmptyMessage) {
 			t.Errorf("empty message after lease recycle: %v", err)
 		}
+		// EndPacking on the aborted connection is a no-op: the lease it
+		// would otherwise double-release belongs to later messages now.
+		if err := conn.EndPacking(); !errors.Is(err, ErrBadState) {
+			t.Errorf("EndPacking after failed Pack: %v, want ErrBadState", err)
+		}
 	})
+}
+
+// failingBMM errors on every operation; tests inject it into a
+// connection's BMM cache to exercise the abort-on-error paths.
+type failingBMM struct{ err error }
+
+func (f failingBMM) Name() string { return "failing" }
+func (f failingBMM) Pack(a *vclock.Actor, data []byte, sm SendMode, rm RecvMode) error {
+	return f.err
+}
+func (f failingBMM) Commit(a *vclock.Actor) error                          { return f.err }
+func (f failingBMM) Unpack(a *vclock.Actor, dst []byte, rm RecvMode) error { return f.err }
+func (f failingBMM) Checkout(a *vclock.Actor) error                        { return f.err }
+
+// TestUnpackAbortReleasesLease pins the receive-side mirror of the Pack
+// abort contract: a failed Unpack releases the receive lease itself, so a
+// dispatcher that bails out on the error without EndUnpacking cannot wedge
+// the connection for the next reception.
+func TestUnpackAbortReleasesLease(t *testing.T) {
+	chans, _ := newTestChannel(t, "tcp")
+	s, r := vclock.NewActor("s"), vclock.NewActor("r")
+	// Two identical messages: the first reception is aborted by an injected
+	// driver fault, and in-order wire delivery hands its bytes to the second
+	// reception — identical payloads keep the content check meaningful.
+	blocks := []block{{pattern(32, 3), SendCheaper, ReceiveExpress}}
+	sendMsg(t, chans[0], s, 1, blocks)
+	sendMsg(t, chans[0], s, 1, blocks)
+
+	rc, err := chans[1].BeginUnpacking(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("injected driver fault")
+	cs := rc.cs
+	tm := chans[1].pmm.Select(32, SendCheaper, ReceiveExpress)
+	saved := cs.rBMMs
+	cs.rBMMs = map[TM]BMM{tm: failingBMM{err: boom}}
+	if err := rc.Unpack(make([]byte, 32), SendCheaper, ReceiveExpress); !errors.Is(err, boom) {
+		t.Fatalf("Unpack with injected fault: %v", err)
+	}
+	cs.rBMMs = saved
+	if err := rc.EndUnpacking(); !errors.Is(err, ErrBadState) {
+		t.Errorf("EndUnpacking after failed Unpack: %v, want ErrBadState", err)
+	}
+	// The lease came back: the next reception proceeds without deadlock.
+	got := recvMsg(t, chans[1], r, blocks)
+	if !bytes.Equal(got[0], blocks[0].data) {
+		t.Error("reception after aborted unpack corrupted")
+	}
+}
+
+// TestSBPAbortReleasesKernelBuffer pins the sbp Announce-failure path: a
+// send toward a closed peer must hand its kernel static buffer back to the
+// pool. A leak would drain the PoolSize-deep send pool and block the
+// (PoolSize+1)-th attempt forever inside ObtainBuffer.
+func TestSBPAbortReleasesKernelBuffer(t *testing.T) {
+	chans, _ := newTestChannel(t, "sbp")
+	chans[1].Close()
+	a := vclock.NewActor("s")
+	for i := 0; i < 2*sbp.PoolSize; i++ {
+		conn, err := chans[0].BeginPacking(a, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = conn.Pack(pattern(16, byte(i)), SendCheaper, ReceiveExpress)
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("send %d toward a closed sbp peer: %v, want ErrClosed", i, err)
+		}
+	}
 }
 
 // TestEndPackingCleanState pins the error paths of message finalization:

@@ -90,6 +90,10 @@ func (t *sbpTM) SendBuffer(a *vclock.Actor, cs *ConnState, data []byte) error {
 		return err
 	}
 	if err := cs.Announce(); err != nil {
+		// The message aborts here (peer closed / misconfigured session) and
+		// the buffer is already delisted from sendBufs: hand it back to the
+		// kernel pool instead of leaking it.
+		t.p.ep.Release(b)
 		return err
 	}
 	return t.p.ep.Send(a, cs.Remote(), t.p.lane, b, len(data))

@@ -12,6 +12,13 @@ import (
 // process: messages, blocks and bytes per direction, Switch-step flush
 // counts, and the per-transmission-module block histogram that shows which
 // transfer methods the selection mechanism actually used.
+//
+// The snapshot is taken without stopping traffic: each counter is read
+// atomically but independently, so a snapshot observed while actors are
+// mid-message can be momentarily skewed across fields (e.g. BytesOut a
+// block ahead of MessagesOut, or the TMBlocks histogram read an instant
+// after the counters). Every field is exact once the channel quiesces;
+// quiesce first when cross-field consistency matters.
 type ChannelStats struct {
 	MessagesOut, MessagesIn int64
 	BlocksOut, BlocksIn     int64
