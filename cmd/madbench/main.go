@@ -8,9 +8,12 @@
 //	madbench -fig 10          # one figure (4, 5, 6, 7, 10, 11, crossover)
 //	madbench -ablations       # only the ablations
 //	madbench -markdown X.md   # also write the EXPERIMENTS.md content
+//	madbench -json out.json   # also write the results as JSON
+//	madbench -trace           # traced representative workload afterwards
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,13 +22,18 @@ import (
 	"madeleine2/internal/bench"
 	"madeleine2/internal/core"
 	"madeleine2/internal/model"
+	"madeleine2/internal/trace"
+	"madeleine2/internal/vclock"
 )
 
 func main() {
 	fig := flag.String("fig", "all", "which figure to reproduce: all, 4, 5, 6, 7, crossover, 10, 11")
 	ablations := flag.Bool("ablations", false, "run only the ablation studies")
 	markdown := flag.String("markdown", "", "write the results as Markdown to this file")
+	jsonOut := flag.String("json", "", "write the results as JSON to this file")
 	plot := flag.Bool("plot", false, "render each figure as an ASCII chart too")
+	showTrace := flag.Bool("trace", false, "run a traced representative workload afterwards: ASCII timeline + per-TM latency histograms")
+	traceJSON := flag.String("trace-json", "", "with -trace, also write a Chrome trace-event JSON file")
 	flag.Parse()
 
 	var results []bench.Result
@@ -81,6 +89,76 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *markdown)
 	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "madbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "madbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+	if *showTrace || *traceJSON != "" {
+		if err := tracedWorkload(*traceJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "madbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// tracedWorkload reruns a representative slice of the evaluation — a
+// Myrinet ping-pong and a forwarded SCI→Myrinet stream — with the
+// session observer installed, then renders what the sink caught: the
+// virtual-time span timeline, the per-TM latency histograms and the
+// channel accounting. With jsonPath it also writes the spans in Chrome
+// trace-event form.
+func tracedWorkload(jsonPath string) error {
+	obs := core.NewObserver(trace.New(1 << 16))
+
+	_, chans, err := bench.TwoNodesObserved("bip", obs)
+	if err != nil {
+		return err
+	}
+	pp, err := bench.PingPong(chans, 0, 1, 4<<10, 5)
+	if err != nil {
+		return err
+	}
+
+	vcs, err := bench.HetVCObserved(bench.NextName("traced"), 16<<10, obs, nil)
+	if err != nil {
+		return err
+	}
+	defer bench.CloseVCs(vcs)
+	fw, err := bench.ForwardedStream(vcs, 0, 4, 256<<10)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("traced workload: bip ping-pong (4 kB) + SCI→Myrinet forwarded stream (256 kB)")
+	fmt.Printf("  ping-pong one-way %v, forwarded stream %.1f MB/s\n\n", pp, vclock.MBps(256<<10, fw))
+	fmt.Print(obs.Recorder().Timeline(100))
+	fmt.Println()
+	fmt.Println("per-TM transfer latency (virtual time):")
+	fmt.Print(obs.Report())
+
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		if err := obs.Recorder().Chrome(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	return nil
 }
 
 func banner() string {

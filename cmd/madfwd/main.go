@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"madeleine2/internal/bench"
+	"madeleine2/internal/core"
 	"madeleine2/internal/fwd"
 	"madeleine2/internal/trace"
 	"madeleine2/internal/vclock"
@@ -26,17 +27,17 @@ func main() {
 	msg := flag.Int("msg", 2<<20, "message size in bytes")
 	control := flag.Float64("control", 0, "gateway bandwidth control in MB/s (0 = off)")
 	forceCopy := flag.Bool("force-copy", false, "disable the static-buffer hand-off (ablation)")
-	showTrace := flag.Bool("trace", false, "print the gateway pipeline's span timeline")
+	showTrace := flag.Bool("trace", false, "print the whole path's span timeline and per-TM latencies")
+	traceJSON := flag.String("trace-json", "", "with -trace, also write a Chrome trace-event JSON file")
 	flag.Parse()
 
-	var rec *trace.Recorder
-	if *showTrace {
-		rec = trace.New(4096)
+	var obs *core.Observer
+	if *showTrace || *traceJSON != "" {
+		obs = core.NewObserver(trace.New(1 << 16))
 	}
-	vcs, err := bench.HetVC("madfwd", *mtu, func(s *fwd.Spec) {
+	vcs, err := bench.HetVCObserved("madfwd", *mtu, obs, func(s *fwd.Spec) {
 		s.BandwidthControl = *control
 		s.ForceGatewayCopy = *forceCopy
-		s.Trace = rec
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "madfwd: %v\n", err)
@@ -59,8 +60,28 @@ func main() {
 		fmt.Printf("  gateway bandwidth control: %.0f MB/s incoming\n", *control)
 	}
 	fmt.Printf("  steady one-way: %v  →  %.1f MB/s\n", t, vclock.MBps(*msg, t))
-	if rec != nil {
+	if obs != nil {
 		fmt.Println()
-		fmt.Print(rec.Timeline(100))
+		fmt.Print(obs.Recorder().Timeline(100))
+		fmt.Println()
+		fmt.Println("per-TM transfer latency (virtual time):")
+		fmt.Print(obs.Report())
+		if *traceJSON != "" {
+			f, err := os.Create(*traceJSON)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "madfwd: %v\n", err)
+				os.Exit(1)
+			}
+			if err := obs.Recorder().Chrome(f); err != nil {
+				f.Close()
+				fmt.Fprintf(os.Stderr, "madfwd: %v\n", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "madfwd: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *traceJSON)
+		}
 	}
 }

@@ -6,6 +6,8 @@
 //
 //	madping -driver sisci
 //	madping -driver bip -min 4 -max 4194304
+//	madping -driver bip -trace           # + span timeline, per-TM latencies
+//	madping -trace -trace-json ping.json # + Chrome trace-event JSON
 package main
 
 import (
@@ -15,15 +17,23 @@ import (
 
 	"madeleine2/internal/bench"
 	"madeleine2/internal/core"
+	"madeleine2/internal/trace"
 )
 
 func main() {
 	driver := flag.String("driver", "sisci", fmt.Sprintf("protocol module: %v", core.Drivers()))
 	min := flag.Int("min", 4, "smallest message size (bytes)")
 	max := flag.Int("max", 2<<20, "largest message size (bytes)")
+	showTrace := flag.Bool("trace", false, "record spans: print an ASCII timeline, per-TM latency histograms and channel stats")
+	traceJSON := flag.String("trace-json", "", "with -trace, also write a Chrome trace-event JSON file (chrome://tracing, Perfetto)")
+	traceLimit := flag.Int("trace-limit", 16384, "span recorder capacity for -trace")
 	flag.Parse()
 
-	_, chans, err := bench.TwoNodes(*driver)
+	var obs *core.Observer
+	if *showTrace || *traceJSON != "" {
+		obs = core.NewObserver(trace.New(*traceLimit))
+	}
+	_, chans, err := bench.TwoNodesObserved(*driver, obs)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "madping: %v\n", err)
 		os.Exit(1)
@@ -37,5 +47,31 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("%12d %14v %12.1f\n", n, t, bench.Point{Size: n, OneWay: t}.Bandwidth())
+	}
+
+	if obs != nil {
+		fmt.Println()
+		fmt.Print(obs.Recorder().Timeline(100))
+		fmt.Println()
+		fmt.Println("per-TM transfer latency (virtual time):")
+		fmt.Print(obs.Report())
+		fmt.Printf("\nchannel stats (rank 0): %v\n", chans[0].Stats())
+		if *traceJSON != "" {
+			f, err := os.Create(*traceJSON)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "madping: %v\n", err)
+				os.Exit(1)
+			}
+			if err := obs.Recorder().Chrome(f); err != nil {
+				f.Close()
+				fmt.Fprintf(os.Stderr, "madping: %v\n", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "madping: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *traceJSON)
+		}
 	}
 }

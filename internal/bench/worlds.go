@@ -17,6 +17,13 @@ import (
 // and a channel on the requested one — the §5.1 testbed (a pair of dual
 // PII-450 nodes on the interconnect under test).
 func TwoNodes(driver string) (*core.Session, map[int]*core.Channel, error) {
+	return TwoNodesObserved(driver, nil)
+}
+
+// TwoNodesObserved is TwoNodes with an observer installed before the
+// channel is created, so every layer of the message path reports into it.
+// A nil observer is the uninstrumented fast path.
+func TwoNodesObserved(driver string, obs *core.Observer) (*core.Session, map[int]*core.Channel, error) {
 	w := simnet.NewWorld(2)
 	for i := 0; i < 2; i++ {
 		w.Node(i).AddAdapter(bip.Network)
@@ -26,6 +33,7 @@ func TwoNodes(driver string) (*core.Session, map[int]*core.Channel, error) {
 		w.Node(i).AddAdapter(sbp.Network)
 	}
 	sess := core.NewSession(w)
+	sess.SetObserver(obs)
 	chans, err := sess.NewChannel(core.ChannelSpec{Name: "bench-" + driver, Driver: driver})
 	if err != nil {
 		return nil, nil, err
@@ -53,7 +61,15 @@ func TwoClusters() *core.Session {
 // HetVC creates the SCI+Myrinet virtual channel of the forwarding
 // experiments on a fresh two-cluster session.
 func HetVC(name string, mtu int, mutate func(*fwd.Spec)) (map[int]*fwd.VC, error) {
+	return HetVCObserved(name, mtu, nil, mutate)
+}
+
+// HetVCObserved is HetVC with an observer installed before the virtual
+// channel's segments are built: the gateway pipeline, the segments' core
+// channels and their TMs all share the observer's sink.
+func HetVCObserved(name string, mtu int, obs *core.Observer, mutate func(*fwd.Spec)) (map[int]*fwd.VC, error) {
 	sess := TwoClusters()
+	sess.SetObserver(obs)
 	spec := fwd.Spec{
 		Name: name,
 		MTU:  mtu,

@@ -37,7 +37,9 @@ type eagerDyn struct {
 	dsts    [][]byte       // deferred receive destinations
 }
 
-func newEagerDyn(tm TM, cs *ConnState) *eagerDyn { return &eagerDyn{cs: cs, tm: tm} }
+func newEagerDyn(tm TM, cs *ConnState) *eagerDyn {
+	return &eagerDyn{cs: cs, tm: instrumentTM(tm, cs)}
+}
 
 func (b *eagerDyn) Name() string { return "dyn-eager" }
 
@@ -99,7 +101,9 @@ type aggrDyn struct {
 	dsts  [][]byte
 }
 
-func newAggrDyn(tm TM, cs *ConnState) *aggrDyn { return &aggrDyn{cs: cs, tm: tm} }
+func newAggrDyn(tm TM, cs *ConnState) *aggrDyn {
+	return &aggrDyn{cs: cs, tm: instrumentTM(tm, cs)}
+}
 
 func (b *aggrDyn) Name() string { return "dyn-aggregate" }
 
@@ -172,7 +176,7 @@ func newStatCopy(tm TM, cs *ConnState) *statCopy {
 	if tm.StaticSize() <= 0 {
 		panic(fmt.Sprintf("core: static-copy BMM over dynamic TM %s", tm.Name()))
 	}
-	return &statCopy{cs: cs, tm: tm}
+	return &statCopy{cs: cs, tm: instrumentTM(tm, cs)}
 }
 
 func (b *statCopy) Name() string { return "static-copy" }
@@ -216,6 +220,8 @@ func (b *statCopy) Pack(a *vclock.Actor, data []byte, sm SendMode, rm RecvMode) 
 }
 
 // flush latches LATER regions and hands the filled prefix to the TM.
+// Mid-pack flushes (a filled static buffer) are the one BMM wire
+// operation no commit span covers, so the flush records its own.
 func (b *statCopy) flush(a *vclock.Actor) error {
 	if b.cur == nil || b.fill == 0 {
 		return nil
@@ -226,7 +232,12 @@ func (b *statCopy) flush(a *vclock.Actor) error {
 	b.later = b.later[:0]
 	buf := b.cur[:b.fill]
 	b.cur, b.fill = nil, 0
-	return b.tm.SendBuffer(a, b.cs, buf)
+	t0 := a.Now()
+	err := b.tm.SendBuffer(a, b.cs, buf)
+	if b.cs != nil {
+		b.cs.ch.span(a, t0, "F:flush static-copy")
+	}
+	return err
 }
 
 func (b *statCopy) Commit(a *vclock.Actor) error { return b.flush(a) }

@@ -25,6 +25,7 @@ type Channel struct {
 	id      int
 	rank    int
 	pmm     PMM
+	obs     *Observer // session observer at creation time; nil = unobserved
 	members []int
 
 	// incoming carries message-start notifications: one rank per message,
@@ -233,7 +234,13 @@ func (c *Channel) BeginPacking(a *vclock.Actor, remote int) (*Connection, error)
 	if err != nil {
 		return nil, err
 	}
+	t0 := a.Now()
 	cs.send.acquire(a)
+	if a.Now() > t0 {
+		// Contended lease: the wait is the full-duplex path's queueing
+		// delay, made visible for the observer's timeline.
+		c.span(a, t0, "w:lease-send "+c.name)
+	}
 	cn := &Connection{cs: cs, actor: a, sending: true, open: true}
 	cs.sendMsg = &cn.msg
 	return cn, nil
@@ -272,7 +279,10 @@ func (cn *Connection) Pack(data []byte, sm SendMode, rm RecvMode) error {
 	// Switch step: changing TM flushes the previous BMM to keep the wire
 	// order identical to the pack order (§4.1).
 	if m.tm != nil && m.tm != tm {
-		if err := cs.sendBMM(m.tm).Commit(cn.actor); err != nil {
+		t0 := cn.actor.Now()
+		err := cs.sendBMM(m.tm).Commit(cn.actor)
+		cs.ch.span(cn.actor, t0, "C:commit "+m.tm.Name())
+		if err != nil {
 			return cn.abort(err)
 		}
 		cs.ch.stats.commits.Add(1)
@@ -280,8 +290,11 @@ func (cn *Connection) Pack(data []byte, sm SendMode, rm RecvMode) error {
 	m.tm = tm
 	m.packed = true
 	cs.ch.stats.packed(tm.Name(), len(data))
+	t0 := cn.actor.Now()
 	cn.actor.Advance(model.MadPackCost)
-	if err := cs.sendBMM(tm).Pack(cn.actor, data, sm, rm); err != nil {
+	err := cs.sendBMM(tm).Pack(cn.actor, data, sm, rm)
+	cs.ch.span(cn.actor, t0, "P:pack "+tm.Name())
+	if err != nil {
 		return cn.abort(err)
 	}
 	return nil
@@ -305,7 +318,10 @@ func (cn *Connection) EndPacking() error {
 		return ErrEmptyMessage
 	}
 	if m.tm != nil {
-		if err := cs.sendBMM(m.tm).Commit(cn.actor); err != nil {
+		t0 := cn.actor.Now()
+		err := cs.sendBMM(m.tm).Commit(cn.actor)
+		cs.ch.span(cn.actor, t0, "C:commit "+m.tm.Name())
+		if err != nil {
 			return err
 		}
 		m.tm = nil
@@ -334,7 +350,11 @@ func (c *Channel) BeginUnpacking(a *vclock.Actor) (*Connection, error) {
 	if err != nil {
 		return nil, err
 	}
+	t0 := a.Now()
 	cs.recv.acquire(a)
+	if a.Now() > t0 {
+		c.span(a, t0, "w:lease-recv "+c.name)
+	}
 	return &Connection{cs: cs, actor: a, sending: false, open: true}, nil
 }
 
@@ -349,7 +369,10 @@ func (cn *Connection) Unpack(dst []byte, sm SendMode, rm RecvMode) error {
 	cs, m := cn.cs, &cn.msg
 	tm := cs.ch.pmm.Select(len(dst), sm, rm)
 	if m.tm != nil && m.tm != tm {
-		if err := cs.recvBMM(m.tm).Checkout(cn.actor); err != nil {
+		t0 := cn.actor.Now()
+		err := cs.recvBMM(m.tm).Checkout(cn.actor)
+		cs.ch.span(cn.actor, t0, "K:checkout "+m.tm.Name())
+		if err != nil {
 			return cn.abort(err)
 		}
 		cs.ch.stats.checkouts.Add(1)
@@ -359,7 +382,10 @@ func (cn *Connection) Unpack(dst []byte, sm SendMode, rm RecvMode) error {
 	// The per-block extraction cost (model.MadUnpackCost) is charged by
 	// the BMM when the block is actually extracted, so it lands after the
 	// data's arrival for deferred (receive_CHEAPER) blocks too.
-	if err := cs.recvBMM(tm).Unpack(cn.actor, dst, rm); err != nil {
+	t0 := cn.actor.Now()
+	err := cs.recvBMM(tm).Unpack(cn.actor, dst, rm)
+	cs.ch.span(cn.actor, t0, "U:unpack "+tm.Name())
+	if err != nil {
 		return cn.abort(err)
 	}
 	return nil
@@ -375,7 +401,10 @@ func (cn *Connection) EndUnpacking() error {
 	cs, m := cn.cs, &cn.msg
 	defer cs.recv.release(cn.actor)
 	if m.tm != nil {
-		if err := cs.recvBMM(m.tm).Checkout(cn.actor); err != nil {
+		t0 := cn.actor.Now()
+		err := cs.recvBMM(m.tm).Checkout(cn.actor)
+		cs.ch.span(cn.actor, t0, "K:checkout "+m.tm.Name())
+		if err != nil {
 			return err
 		}
 		m.tm = nil

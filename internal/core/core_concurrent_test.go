@@ -572,8 +572,8 @@ func TestCommitsAllPMMs(t *testing.T) {
 		{"bip", []int{short, long, short}, 2},
 		{"sisci", []int{short, long, short}, 2},
 		{"via", []int{short, long, short}, 2},
-		{"tcp", []int{short, long, short}, 0},  // single TM: nothing to switch
-		{"sbp", []int{short, long, short}, 0},  // single TM
+		{"tcp", []int{short, long, short}, 0},                               // single TM: nothing to switch
+		{"sbp", []int{short, long, short}, 0},                               // single TM
 		{"sisci", []int{model.SISCIDualMin - 1, model.SISCIDualMin - 1}, 0}, // both pio
 		{"sisci", []int{model.SISCIDualMin - 1, model.SISCIDualMin}, 1},     // pio -> dual
 		{"sisci", []int{model.SISCIDualMin + 1, model.SISCIDualMin}, 0},     // both dual

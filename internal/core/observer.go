@@ -1,0 +1,208 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"madeleine2/internal/trace"
+	"madeleine2/internal/vclock"
+)
+
+// Observer is the session-level observability sink: an optional span
+// recorder shared by every layer of the message path (pack/unpack,
+// Switch-module commits and checkouts, BMM flushes, lease-acquisition
+// waits, per-TM transfers, and the forwarding gateway's pipeline) plus
+// per-TM latency histograms aggregated across every channel of the
+// session. Install it with Session.SetObserver before creating channels.
+//
+// A nil *Observer is the no-op fast path: channels skip every
+// instrumentation hook, so an unobserved session pays nothing. A non-nil
+// Observer with a nil Recorder keeps only the histograms.
+type Observer struct {
+	rec *trace.Recorder
+
+	mu  sync.Mutex
+	tms map[string]*trace.Histogram
+}
+
+// NewObserver returns an observer recording spans into rec (which may be
+// nil to keep only the per-TM histograms).
+func NewObserver(rec *trace.Recorder) *Observer {
+	return &Observer{rec: rec, tms: make(map[string]*trace.Histogram)}
+}
+
+// Recorder exposes the span sink; nil-safe.
+func (o *Observer) Recorder() *trace.Recorder {
+	if o == nil {
+		return nil
+	}
+	return o.rec
+}
+
+// TM returns (creating on first use) the latency histogram for one TM
+// direction, keyed like "bip-short/tx". Nil-safe: a nil observer yields
+// a nil histogram, itself a valid no-op sink.
+func (o *Observer) TM(name string) *trace.Histogram {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	h := o.tms[name]
+	if h == nil {
+		h = trace.NewHistogram()
+		o.tms[name] = h
+	}
+	return h
+}
+
+// TMLatencies snapshots every per-TM histogram with at least one
+// observation.
+func (o *Observer) TMLatencies() map[string]trace.HistSnapshot {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make(map[string]trace.HistSnapshot, len(o.tms))
+	for name, h := range o.tms {
+		if s := h.Snapshot(); s.Count > 0 {
+			out[name] = s
+		}
+	}
+	return out
+}
+
+// Report renders the per-TM latency histograms as a sorted table.
+func (o *Observer) Report() string {
+	lats := o.TMLatencies()
+	if len(lats) == 0 {
+		return "(no TM latencies observed)\n"
+	}
+	names := make([]string, 0, len(lats))
+	for n := range lats {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %8s %12s %12s %12s %12s %12s\n",
+		"tm", "count", "min", "p50", "p99", "max", "mean")
+	for _, n := range names {
+		s := lats[n]
+		fmt.Fprintf(&b, "%-18s %8d %12v %12v %12v %12v %12v\n",
+			n, s.Count, s.Min, s.P50, s.P99, s.Max, s.Mean())
+	}
+	return b.String()
+}
+
+// span records one interval ending now on the channel's observer; the
+// no-op when unobserved is a single nil check on the hot path. The nil
+// receiver is safe so BMMs built over a bare ConnState (white-box tests)
+// can call through cs.ch unconditionally.
+func (c *Channel) span(a *vclock.Actor, start vclock.Time, label string) {
+	if c != nil && c.obs != nil {
+		c.obs.rec.Record(a.Name(), start, a.Now(), label)
+	}
+}
+
+// obsTM decorates a transmission module with transfer spans and per-TM
+// latency attribution. BMM constructors install it (instrumentTM), so
+// every wire operation of every PMM — built-in or externally registered —
+// reports through the same sink without per-driver wiring. The embedded
+// TM serves Name/Link/StaticSize/NewBMM untouched.
+type obsTM struct {
+	TM
+	rec     *trace.Recorder
+	tx, rx  *trace.Histogram
+	txLabel string // "x:<tm>": send-side transfer spans
+	rxLabel string // "v:<tm>": receive-side transfer spans
+}
+
+// instrumentTM wraps tm when the channel is observed; the identity
+// function otherwise (including BMMs built over a bare ConnState with no
+// channel, as white-box tests do). Idempotent.
+func instrumentTM(tm TM, cs *ConnState) TM {
+	if cs == nil || cs.ch == nil || cs.ch.obs == nil {
+		return tm
+	}
+	o := cs.ch.obs
+	if _, wrapped := tm.(*obsTM); wrapped {
+		return tm
+	}
+	name := tm.Name()
+	return &obsTM{
+		TM:      tm,
+		rec:     o.rec,
+		tx:      o.TM(name + "/tx"),
+		rx:      o.TM(name + "/rx"),
+		txLabel: "x:" + name,
+		rxLabel: "v:" + name,
+	}
+}
+
+// observe attributes the virtual time the operation consumed. Zero-width
+// intervals still count in the histogram but are not recorded as spans,
+// so free operations cannot flood the recorder's limit.
+func (w *obsTM) observe(a *vclock.Actor, start vclock.Time, h *trace.Histogram, label string) {
+	now := a.Now()
+	h.Observe(now - start)
+	if now > start {
+		w.rec.Record(a.Name(), start, now, label)
+	}
+}
+
+func (w *obsTM) SendBuffer(a *vclock.Actor, cs *ConnState, data []byte) error {
+	t0 := a.Now()
+	err := w.TM.SendBuffer(a, cs, data)
+	w.observe(a, t0, w.tx, w.txLabel)
+	return err
+}
+
+func (w *obsTM) SendBufferGroup(a *vclock.Actor, cs *ConnState, group [][]byte) error {
+	t0 := a.Now()
+	err := w.TM.SendBufferGroup(a, cs, group)
+	w.observe(a, t0, w.tx, w.txLabel)
+	return err
+}
+
+func (w *obsTM) ReceiveBuffer(a *vclock.Actor, cs *ConnState, dst []byte) error {
+	t0 := a.Now()
+	err := w.TM.ReceiveBuffer(a, cs, dst)
+	w.observe(a, t0, w.rx, w.rxLabel)
+	return err
+}
+
+func (w *obsTM) ReceiveSubBufferGroup(a *vclock.Actor, cs *ConnState, dsts [][]byte) error {
+	t0 := a.Now()
+	err := w.TM.ReceiveSubBufferGroup(a, cs, dsts)
+	w.observe(a, t0, w.rx, w.rxLabel)
+	return err
+}
+
+func (w *obsTM) ReceiveStaticBuffer(a *vclock.Actor, cs *ConnState) ([]byte, error) {
+	t0 := a.Now()
+	buf, err := w.TM.ReceiveStaticBuffer(a, cs)
+	w.observe(a, t0, w.rx, w.rxLabel)
+	return buf, err
+}
+
+// Static-buffer obtain/release are bookkeeping, not transfers — usually
+// free, occasionally a credit-return wire write. They contribute spans
+// when they cost time but stay out of the transfer-latency histograms,
+// which would otherwise drown in zeros.
+
+func (w *obsTM) ReleaseStaticBuffer(a *vclock.Actor, cs *ConnState, buf []byte) error {
+	t0 := a.Now()
+	err := w.TM.ReleaseStaticBuffer(a, cs, buf)
+	w.observe(a, t0, nil, w.rxLabel)
+	return err
+}
+
+func (w *obsTM) ObtainStaticBuffer(a *vclock.Actor, cs *ConnState) ([]byte, error) {
+	t0 := a.Now()
+	buf, err := w.TM.ObtainStaticBuffer(a, cs)
+	w.observe(a, t0, nil, w.txLabel)
+	return buf, err
+}

@@ -43,6 +43,8 @@ func newBIPPMM(node *simnet.Node, adapter, chanID int) (PMM, error) {
 
 func (p *bipPMM) Name() string { return "bip" }
 
+func (p *bipPMM) TMs() []TM { return []TM{p.short, p.long} }
+
 func (p *bipPMM) Select(n int, sm SendMode, rm RecvMode) TM {
 	if n < bip.ShortMax {
 		return p.short

@@ -31,6 +31,7 @@ func newSBPPMM(node *simnet.Node, adapter, chanID int) (PMM, error) {
 
 func (p *sbpPMM) Name() string                              { return "sbp" }
 func (p *sbpPMM) Select(n int, sm SendMode, rm RecvMode) TM { return p.tm }
+func (p *sbpPMM) TMs() []TM                                 { return []TM{p.tm} }
 func (p *sbpPMM) Link(n int) model.Link                     { return model.SBP }
 func (p *sbpPMM) PreConnect(cs *ConnState) error {
 	cs.Priv = &sbpConn{

@@ -49,6 +49,10 @@ func newSISCIPMM(node *simnet.Node, adapter, chanID int, dma, dualOff bool) (PMM
 
 func (p *sisciPMM) Name() string { return "sisci" }
 
+// TMs lists all four modules, the configuration-disabled ones included:
+// pre-registration is about names the Switch step could ever pick.
+func (p *sisciPMM) TMs() []TM { return []TM{p.short, p.pio, p.dual, p.dma} }
+
 func (p *sisciPMM) Select(n int, sm SendMode, rm RecvMode) TM {
 	switch {
 	case p.dmaEnabled && n >= model.SISCIDualMin:

@@ -28,6 +28,7 @@ func newTCPPMM(node *simnet.Node, adapter, chanID int) (PMM, error) {
 
 func (p *tcpPMM) Name() string                              { return "tcp" }
 func (p *tcpPMM) Select(n int, sm SendMode, rm RecvMode) TM { return p.tm }
+func (p *tcpPMM) TMs() []TM                                 { return []TM{p.tm} }
 func (p *tcpPMM) Link(n int) model.Link                     { return model.TCPFE }
 func (p *tcpPMM) PreConnect(cs *ConnState) error            { cs.Priv = &tcpConn{}; return nil }
 func (p *tcpPMM) Connect(cs *ConnState) error               { return nil }

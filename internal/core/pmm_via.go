@@ -52,6 +52,8 @@ func newVIAPMM(node *simnet.Node, adapter, chanID int) (PMM, error) {
 
 func (p *viaPMM) Name() string { return "via" }
 
+func (p *viaPMM) TMs() []TM { return []TM{p.short, p.large} }
+
 func (p *viaPMM) Select(n int, sm SendMode, rm RecvMode) TM {
 	if n < model.VIAShortMax {
 		return p.short

@@ -16,6 +16,7 @@ type Session struct {
 	mu       sync.Mutex
 	channels map[chanKey]*Channel
 	nextID   int
+	obs      *Observer
 }
 
 type chanKey struct {
@@ -30,6 +31,23 @@ func NewSession(w *simnet.World) *Session {
 
 // World returns the session's cluster.
 func (s *Session) World() *simnet.World { return s.world }
+
+// SetObserver installs the session's observability sink. Channels bind
+// it at creation, so install it before NewChannel; channels created
+// earlier stay unobserved. A nil observer (the default) is the no-op
+// fast path.
+func (s *Session) SetObserver(o *Observer) {
+	s.mu.Lock()
+	s.obs = o
+	s.mu.Unlock()
+}
+
+// Observer returns the session's observability sink (nil when none).
+func (s *Session) Observer() *Observer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.obs
+}
 
 // ChannelSpec describes a channel to create: a closed world of
 // communication bound to one network interface and one adapter (§2.1).
@@ -56,6 +74,7 @@ func (s *Session) NewChannel(spec ChannelSpec) (map[int]*Channel, error) {
 	s.mu.Lock()
 	id := s.nextID
 	s.nextID++
+	obs := s.obs
 	s.mu.Unlock()
 
 	members := spec.Nodes
@@ -82,10 +101,14 @@ func (s *Session) NewChannel(spec ChannelSpec) (map[int]*Channel, error) {
 			id:       id,
 			rank:     r,
 			pmm:      pmm,
+			obs:      obs,
 			members:  append([]int(nil), members...),
 			incoming: simnet.NewQueue[int](),
 			conns:    make(map[int]*ConnState),
 		}
+		// Pre-register the PMM's TM names so per-TM accounting is
+		// lock-free once traffic starts.
+		ch.stats.registerTMs(pmm.TMs())
 		chans[r] = ch
 		s.mu.Lock()
 		if _, dup := s.channels[chanKey{spec.Name, r}]; dup {

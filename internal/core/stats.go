@@ -42,26 +42,45 @@ func (s ChannelStats) String() string {
 
 // chanStats is the channel's live accounting. Many actors mutate it
 // concurrently (disjoint connections of one channel, full-duplex traffic
-// on one connection), so the counters are atomics; only the per-TM
-// histogram needs a lock.
+// on one connection), so every counter is an atomic — including the
+// per-TM block histogram: its map is built once at channel creation from
+// the PMM's declared TMs (PMM.TMs) and never mutated afterwards, so the
+// hot send path updates a pre-registered TM with one atomic add and no
+// lock. A TM name the PMM failed to declare falls back to the
+// mutex-guarded overflow map.
 type chanStats struct {
 	messagesOut, messagesIn atomic.Int64
 	blocksOut, blocksIn     atomic.Int64
 	bytesOut, bytesIn       atomic.Int64
 	commits, checkouts      atomic.Int64
 
+	tmBlocks map[string]*atomic.Int64 // read-only after registerTMs
+
 	mu       sync.Mutex
-	tmBlocks map[string]int64
+	overflow map[string]int64
+}
+
+// registerTMs pre-registers the channel's TM names; runs once, before
+// any traffic.
+func (cs *chanStats) registerTMs(tms []TM) {
+	cs.tmBlocks = make(map[string]*atomic.Int64, len(tms))
+	for _, tm := range tms {
+		cs.tmBlocks[tm.Name()] = new(atomic.Int64)
+	}
 }
 
 func (cs *chanStats) packed(tm string, n int) {
 	cs.blocksOut.Add(1)
 	cs.bytesOut.Add(int64(n))
-	cs.mu.Lock()
-	if cs.tmBlocks == nil {
-		cs.tmBlocks = make(map[string]int64)
+	if ctr := cs.tmBlocks[tm]; ctr != nil {
+		ctr.Add(1)
+		return
 	}
-	cs.tmBlocks[tm]++
+	cs.mu.Lock()
+	if cs.overflow == nil {
+		cs.overflow = make(map[string]int64)
+	}
+	cs.overflow[tm]++
 	cs.mu.Unlock()
 }
 
@@ -82,10 +101,15 @@ func (c *Channel) Stats() ChannelStats {
 		Commits:     c.stats.commits.Load(),
 		Checkouts:   c.stats.checkouts.Load(),
 	}
-	c.stats.mu.Lock()
 	out.TMBlocks = make(map[string]int64, len(c.stats.tmBlocks))
-	for k, v := range c.stats.tmBlocks {
-		out.TMBlocks[k] = v
+	for k, ctr := range c.stats.tmBlocks {
+		if v := ctr.Load(); v > 0 {
+			out.TMBlocks[k] = v
+		}
+	}
+	c.stats.mu.Lock()
+	for k, v := range c.stats.overflow {
+		out.TMBlocks[k] += v
 	}
 	c.stats.mu.Unlock()
 	return out

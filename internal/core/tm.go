@@ -68,6 +68,12 @@ type PMM interface {
 	// selection mechanism" (§7).
 	Select(n int, sm SendMode, rm RecvMode) TM
 
+	// TMs lists every transmission module Select can return (including
+	// configuration-disabled ones). Channels pre-register the names at
+	// creation so per-TM statistics update lock-free on the hot path,
+	// and observers label latency histograms with them.
+	TMs() []TM
+
 	// Link summarizes the protocol's best-TM one-way cost for n bytes.
 	Link(n int) model.Link
 

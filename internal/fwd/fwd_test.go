@@ -334,12 +334,14 @@ func TestHeaderCodec(t *testing.T) {
 
 func TestGatewayPipelineTrace(t *testing.T) {
 	// Fig. 9's claim made visible: in steady state the gateway's receive
-	// thread and send thread overlap substantially.
+	// thread and send thread overlap substantially. The spans travel
+	// through the shared session observer — the same sink the core
+	// channels record pack/unpack and per-TM spans into — not a bespoke
+	// fwd recorder.
 	sess := twoClusters(t)
 	rec := trace.New(0)
-	spec := sciMyriSpec("traced", 16<<10)
-	spec.Trace = rec
-	vcs := newVC(t, sess, spec)
+	sess.SetObserver(core.NewObserver(rec))
+	vcs := newVC(t, sess, sciMyriSpec("traced", 16<<10))
 	oneWay(t, vcs, 0, 4, 1<<20)
 
 	rx := "traced/n2/seg0-rx"

@@ -148,7 +148,7 @@ func (v *VC) daemon(segIdx int, ch *core.Channel) {
 		if checksum(payload) != h.CRC {
 			panic(fmt.Sprintf("fwd daemon %s: packet %d from %d failed its checksum mid-route", a.Name(), h.Seq, h.Origin))
 		}
-		v.spec.Trace.Record(a.Name(), hdrAt, hdrAt+ch.Link(h.Len).ByteTime(h.Len), "r")
+		v.rec.Record(a.Name(), hdrAt, hdrAt+ch.Link(h.Len).ByteTime(h.Len), "r")
 		p.work.Push(workItem{hdr: h, payload: payload, tok: tok, stampIn: a.Now()})
 	}
 }
@@ -209,7 +209,7 @@ func (p *pipeline) run() {
 			}
 			panic(fmt.Sprintf("fwd pipeline %s: %v", a.Name(), err))
 		}
-		v.spec.Trace.Record(a.Name(), ready, a.Now(), "s")
+		v.rec.Record(a.Name(), ready, a.Now(), "s")
 		prevReady, prevSendEnd = ready, a.Now()
 
 		w.tok.stamp = a.Now()

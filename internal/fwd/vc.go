@@ -35,8 +35,12 @@ type Spec struct {
 	// ForceGatewayCopy disables the static-buffer hand-off optimization of
 	// §6.1 and always pays an extra copy on gateways (ablation).
 	ForceGatewayCopy bool
-	// Trace, when non-nil, records the gateway pipeline's receive and
-	// send spans for timeline inspection (madfwd -trace).
+	// Trace, when non-nil, overrides the session observer's recorder as
+	// the sink for the gateway pipeline's receive and send spans. Leave
+	// it nil to share the sink every other layer records into (a session
+	// observer installed with core.Session.SetObserver) — the Fig. 9
+	// overlap metric then reads off the same recorder as the pack/unpack
+	// and per-TM spans.
 	Trace *trace.Recorder
 }
 
@@ -71,6 +75,7 @@ type VC struct {
 	mtu  int
 	spec Spec
 	sess *core.Session
+	rec  *trace.Recorder // Spec.Trace, or the session observer's recorder
 
 	chans map[int]*core.Channel // segment index -> this rank's real channel
 	next  map[int]hop           // destination rank -> next hop
@@ -117,6 +122,10 @@ func New(sess *core.Session, spec Spec) (map[int]*VC, error) {
 		return nil, fmt.Errorf("fwd: %s: %w", spec.Name, err)
 	}
 
+	rec := spec.Trace
+	if rec == nil {
+		rec = sess.Observer().Recorder()
+	}
 	vcs := make(map[int]*VC, len(members))
 	for _, r := range members {
 		v := &VC{
@@ -125,6 +134,7 @@ func New(sess *core.Session, spec Spec) (map[int]*VC, error) {
 			mtu:      spec.MTU,
 			spec:     spec,
 			sess:     sess,
+			rec:      rec,
 			chans:    make(map[int]*core.Channel),
 			next:     routes[r],
 			msgStart: simnet.NewQueue[int](),

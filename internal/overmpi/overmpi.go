@@ -71,6 +71,7 @@ type pmm struct {
 
 func (p *pmm) Name() string                                             { return "overmpi" }
 func (p *pmm) Select(n int, sm core.SendMode, rm core.RecvMode) core.TM { return p.tm }
+func (p *pmm) TMs() []core.TM                                           { return []core.TM{p.tm} }
 func (p *pmm) Link(n int) model.Link                                    { return p.comm.Link(n) }
 func (p *pmm) PreConnect(cs *core.ConnState) error                      { return nil }
 func (p *pmm) Connect(cs *core.ConnState) error                         { return nil }

@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestChromeExport(t *testing.T) {
+	r := New(0)
+	r.Record("rx", us(0), us(50), "r")
+	r.Record("tx", us(25), us(100), "s")
+	r.Record("rx", us(60), us(60), "") // zero-width, empty label
+
+	var buf bytes.Buffer
+	if err := r.Chrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if out.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", out.DisplayTimeUnit)
+	}
+	// Two actors → two metadata events, plus three span events.
+	var meta, spans int
+	tidName := map[int]string{}
+	for _, e := range out.TraceEvents {
+		switch e.Ph {
+		case "M":
+			meta++
+			if e.Name != "thread_name" {
+				t.Errorf("metadata name = %q", e.Name)
+			}
+			tidName[e.Tid] = e.Args["name"].(string)
+		case "X":
+			spans++
+			if e.Dur < 0 {
+				t.Errorf("negative dur: %+v", e)
+			}
+		default:
+			t.Errorf("unexpected phase %q", e.Ph)
+		}
+	}
+	if meta != 2 || spans != 3 {
+		t.Fatalf("meta/spans = %d/%d", meta, spans)
+	}
+	if tidName[0] != "rx" || tidName[1] != "tx" {
+		t.Errorf("tid naming order: %v", tidName)
+	}
+	// Span events carry microsecond timestamps.
+	for _, e := range out.TraceEvents {
+		if e.Ph == "X" && e.Name == "s" {
+			if e.Ts != 25 || e.Dur != 75 {
+				t.Errorf("s event ts/dur = %v/%v", e.Ts, e.Dur)
+			}
+		}
+		if e.Ph == "X" && e.Name == "busy" && e.Dur != 0 {
+			t.Errorf("empty-label zero-width event: %+v", e)
+		}
+	}
+}
+
+func TestChromeEmptyRecorder(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New(0).Chrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if evs, ok := out["traceEvents"].([]any); !ok || len(evs) != 0 {
+		t.Errorf("traceEvents = %v", out["traceEvents"])
+	}
+}

@@ -1,0 +1,136 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync/atomic"
+
+	"madeleine2/internal/vclock"
+)
+
+// Histogram aggregates virtual-time latencies lock-free: the hot path is
+// a handful of atomic adds, so per-TM observation costs nothing
+// measurable even under heavily concurrent senders. Durations land in
+// logarithmic buckets (one per bit length of the nanosecond count), from
+// which the quantile accessors interpolate. A nil *Histogram is a valid
+// no-op sink.
+type Histogram struct {
+	count atomic.Int64
+	sum   atomic.Int64
+	min   atomic.Int64 // initialized to MaxInt64 by NewHistogram
+	max   atomic.Int64
+	// buckets[i] counts durations d with bits.Len64(d) == i, i.e.
+	// d in [2^(i-1), 2^i); bucket 0 holds exact zeros.
+	buckets [65]atomic.Int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	return h
+}
+
+// Observe records one duration. Negative durations are ignored (virtual
+// time never runs backwards); zero durations are counted. No-op on nil.
+func (h *Histogram) Observe(d vclock.Time) {
+	if h == nil || d < 0 {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+	h.buckets[bits.Len64(uint64(d))].Add(1)
+	for {
+		cur := h.min.Load()
+		if int64(d) >= cur || h.min.CompareAndSwap(cur, int64(d)) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if int64(d) <= cur || h.max.CompareAndSwap(cur, int64(d)) {
+			break
+		}
+	}
+}
+
+// HistSnapshot is one histogram's aggregate view. Quantiles are
+// estimated by linear interpolation inside the matched log bucket, so
+// they are exact to within a factor of two and deterministic.
+type HistSnapshot struct {
+	Count                   int64
+	Sum, Min, Max, P50, P99 vclock.Time
+}
+
+// Mean reports the average duration (0 when empty).
+func (s HistSnapshot) Mean() vclock.Time {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / vclock.Time(s.Count)
+}
+
+// String renders the snapshot on one line.
+func (s HistSnapshot) String() string {
+	if s.Count == 0 {
+		return "(empty)"
+	}
+	return fmt.Sprintf("n=%d sum=%v min=%v mean=%v p50=%v p99=%v max=%v",
+		s.Count, s.Sum, s.Min, s.Mean(), s.P50, s.P99, s.Max)
+}
+
+// Snapshot captures the histogram's current aggregates. Like
+// Channel.Stats, the fields are read atomically but independently, so a
+// snapshot taken mid-traffic can be momentarily skewed across fields;
+// every field is exact once the observed path quiesces.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	s := HistSnapshot{
+		Count: h.count.Load(),
+		Sum:   vclock.Time(h.sum.Load()),
+		Max:   vclock.Time(h.max.Load()),
+	}
+	if s.Count == 0 {
+		return HistSnapshot{}
+	}
+	s.Min = vclock.Time(h.min.Load())
+	var counts [65]int64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+	}
+	s.P50 = quantile(&counts, s.Count, 0.50)
+	s.P99 = quantile(&counts, s.Count, 0.99)
+	// Clamp the interpolated estimates to the observed range.
+	s.P50 = vclock.Max(vclock.Min(s.P50, s.Max), s.Min)
+	s.P99 = vclock.Max(vclock.Min(s.P99, s.Max), s.Min)
+	return s
+}
+
+// quantile finds the bucket holding the q-th ranked observation and
+// interpolates linearly across the bucket's [2^(i-1), 2^i) value range.
+func quantile(counts *[65]int64, total int64, q float64) vclock.Time {
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if seen+c >= rank {
+			if i == 0 {
+				return 0
+			}
+			lo := int64(1) << (i - 1)
+			hi := int64(1) << i
+			frac := float64(rank-seen) / float64(c)
+			return vclock.Time(lo + int64(frac*float64(hi-lo)))
+		}
+		seen += c
+	}
+	return 0
+}

@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"madeleine2/internal/vclock"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	s := h.Snapshot()
+	if s.Count != 0 || s.Min != 0 || s.Max != 0 || s.P50 != 0 || s.P99 != 0 {
+		t.Errorf("empty snapshot not zero: %+v", s)
+	}
+	if s.Mean() != 0 {
+		t.Errorf("empty mean = %v", s.Mean())
+	}
+	if s.String() != "(empty)" {
+		t.Errorf("empty string = %q", s.String())
+	}
+}
+
+func TestHistogramNilIsNoop(t *testing.T) {
+	var h *Histogram
+	h.Observe(us(5)) // must not panic
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Errorf("nil snapshot = %+v", s)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(-1) // ignored
+	h.Observe(0)  // counted
+	h.Observe(us(10))
+	h.Observe(us(20))
+	h.Observe(us(40))
+	s := h.Snapshot()
+	if s.Count != 4 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Min != 0 || s.Max != us(40) {
+		t.Errorf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if want := us(70); s.Sum != want {
+		t.Errorf("sum = %v, want %v", s.Sum, want)
+	}
+	if want := us(70) / 4; s.Mean() != want {
+		t.Errorf("mean = %v, want %v", s.Mean(), want)
+	}
+	// Log-bucket quantiles are approximate but must stay inside the
+	// observed range and be ordered.
+	if s.P50 < s.Min || s.P50 > s.Max || s.P99 < s.P50 || s.P99 > s.Max {
+		t.Errorf("quantiles out of range: %+v", s)
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(us(7))
+	s := h.Snapshot()
+	if s.Min != us(7) || s.Max != us(7) || s.P50 != us(7) || s.P99 != us(7) {
+		t.Errorf("single-value snapshot must collapse: %+v", s)
+	}
+	if !strings.Contains(s.String(), "n=1") {
+		t.Errorf("string = %q", s.String())
+	}
+}
+
+func TestHistogramQuantileSpread(t *testing.T) {
+	h := NewHistogram()
+	// 99 fast observations and one slow outlier: p50 must stay near the
+	// fast cluster, p99 may reach toward the outlier.
+	for i := 0; i < 99; i++ {
+		h.Observe(us(1))
+	}
+	h.Observe(us(1000))
+	s := h.Snapshot()
+	if s.P50 > us(2) {
+		t.Errorf("p50 = %v pulled away from the fast cluster", s.P50)
+	}
+	if s.P99 < s.P50 {
+		t.Errorf("p99 %v < p50 %v", s.P99, s.P50)
+	}
+	if s.Max != us(1000) {
+		t.Errorf("max = %v", s.Max)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	const writers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(vclock.Time(w*per + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != writers*per {
+		t.Errorf("count = %d, want %d", s.Count, writers*per)
+	}
+	if s.Min != 0 || s.Max != vclock.Time(writers*per-1) {
+		t.Errorf("min/max = %v/%v", s.Min, s.Max)
+	}
+	var want int64
+	for i := 0; i < writers*per; i++ {
+		want += int64(i)
+	}
+	if s.Sum != vclock.Time(want) {
+		t.Errorf("sum = %v, want %v", s.Sum, want)
+	}
+}

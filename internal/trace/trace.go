@@ -29,15 +29,17 @@ func (s Span) Duration() vclock.Time { return s.End - s.Start }
 // Recorder collects spans; safe for concurrent use. A nil *Recorder is a
 // valid no-op sink, so instrumented code records unconditionally.
 type Recorder struct {
-	mu    sync.Mutex
-	spans []Span
-	limit int
+	mu      sync.Mutex
+	spans   []Span
+	limit   int
+	dropped int64
 }
 
 // New returns a recorder keeping at most limit spans (0 = unbounded).
 func New(limit int) *Recorder { return &Recorder{limit: limit} }
 
-// Record appends one span. No-op on a nil recorder or an empty interval.
+// Record appends one span. No-op on a nil recorder or an inverted
+// interval; spans beyond the limit are counted as dropped (Dropped).
 func (r *Recorder) Record(actor string, start, end vclock.Time, label string) {
 	if r == nil || end < start {
 		return
@@ -45,9 +47,21 @@ func (r *Recorder) Record(actor string, start, end vclock.Time, label string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.limit > 0 && len(r.spans) >= r.limit {
+		r.dropped++
 		return
 	}
 	r.spans = append(r.spans, Span{Actor: actor, Start: start, End: end, Label: label})
+}
+
+// Dropped reports how many spans were discarded at the limit, so a
+// rendered timeline can say it is truncated.
+func (r *Recorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
 }
 
 // Spans returns a copy of the recorded spans, ordered by start time.
@@ -127,6 +141,9 @@ func (r *Recorder) Timeline(width int) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "timeline %v .. %v (%d spans, cell ≈ %s)\n",
 		t0, t1, len(spans), vclock.Time(cell))
+	if d := r.Dropped(); d > 0 {
+		fmt.Fprintf(&b, "TRUNCATED: %d spans dropped at the %d-span limit\n", d, r.limit)
+	}
 	nameW := 0
 	for _, a := range actors {
 		if len(a) > nameW {
@@ -139,40 +156,57 @@ func (r *Recorder) Timeline(width int) string {
 	return b.String()
 }
 
-// Busy reports the total busy time of one actor.
+// Busy reports the total busy time of one actor: the measure of the
+// union of its spans (self-overlapping spans — e.g. a pack span nesting
+// a TM transfer span — count once).
 func (r *Recorder) Busy(actor string) vclock.Time {
 	var total vclock.Time
-	for _, s := range r.Spans() {
-		if s.Actor == actor {
-			total += s.Duration()
-		}
+	for _, iv := range mergedIntervals(r.Spans(), actor) {
+		total += iv.End - iv.Start
 	}
 	return total
 }
 
 // Overlap reports the total time during which both actors were busy
-// simultaneously — the pipeline-overlap metric of Fig. 9.
+// simultaneously — the pipeline-overlap metric of Fig. 9. It snapshots
+// the recorder once and sweeps the two merged interval sets in one
+// linear pass.
 func (r *Recorder) Overlap(a, b string) vclock.Time {
-	sa, sb := r.actorSpans(a), r.actorSpans(b)
+	spans := r.Spans()
+	sa, sb := mergedIntervals(spans, a), mergedIntervals(spans, b)
 	var total vclock.Time
-	for _, x := range sa {
-		for _, y := range sb {
-			lo := vclock.Max(x.Start, y.Start)
-			hi := vclock.Min(x.End, y.End)
-			if hi > lo {
-				total += hi - lo
-			}
+	i, j := 0, 0
+	for i < len(sa) && j < len(sb) {
+		lo := vclock.Max(sa[i].Start, sb[j].Start)
+		hi := vclock.Min(sa[i].End, sb[j].End)
+		if hi > lo {
+			total += hi - lo
+		}
+		if sa[i].End < sb[j].End {
+			i++
+		} else {
+			j++
 		}
 	}
 	return total
 }
 
-func (r *Recorder) actorSpans(actor string) []Span {
-	var out []Span
-	for _, s := range r.Spans() {
-		if s.Actor == actor {
-			out = append(out, s)
+// interval is a [Start, End) stretch of busy time.
+type interval struct{ Start, End vclock.Time }
+
+// mergedIntervals extracts one actor's spans from a start-ordered
+// snapshot and merges overlapping or touching ones.
+func mergedIntervals(spans []Span, actor string) []interval {
+	var out []interval
+	for _, s := range spans {
+		if s.Actor != actor {
+			continue
 		}
+		if n := len(out); n > 0 && s.Start <= out[n-1].End {
+			out[n-1].End = vclock.Max(out[n-1].End, s.End)
+			continue
+		}
+		out = append(out, interval{Start: s.Start, End: s.End})
 	}
 	return out
 }

@@ -103,3 +103,95 @@ func TestTimelineTinySpansVisible(t *testing.T) {
 		t.Errorf("tiny span invisible:\n%s", out)
 	}
 }
+
+func TestDroppedCountsAndTruncationNote(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10; i++ {
+		r.Record("a", vclock.Time(i), vclock.Time(i+1), "x")
+	}
+	if r.Dropped() != 7 {
+		t.Errorf("Dropped = %d, want 7", r.Dropped())
+	}
+	if r.Len() != 3 {
+		t.Errorf("Len = %d, want 3", r.Len())
+	}
+	out := r.Timeline(40)
+	if !strings.Contains(out, "TRUNCATED") || !strings.Contains(out, "7 spans dropped") {
+		t.Errorf("timeline must announce truncation:\n%s", out)
+	}
+	// An unsaturated recorder must not claim truncation.
+	r2 := New(3)
+	r2.Record("a", 0, 1, "x")
+	if strings.Contains(r2.Timeline(40), "TRUNCATED") {
+		t.Error("unsaturated timeline claims truncation")
+	}
+	// Inverted intervals are invalid input, not drops.
+	r3 := New(0)
+	r3.Record("a", us(5), us(1), "x")
+	if r3.Dropped() != 0 {
+		t.Errorf("inverted interval counted as drop: %d", r3.Dropped())
+	}
+	var nilRec *Recorder
+	if nilRec.Dropped() != 0 {
+		t.Error("nil recorder Dropped must be 0")
+	}
+}
+
+func TestBusyMergesNestedSpans(t *testing.T) {
+	r := New(0)
+	// A pack span nesting the TM transfer span it triggered: the busy
+	// time is the union, not the sum.
+	r.Record("a", us(0), us(100), "P:pack")
+	r.Record("a", us(10), us(60), "x:tm")
+	r.Record("a", us(100), us(150), "U:unpack") // touching: merges
+	if got := r.Busy("a"); got != us(150) {
+		t.Errorf("Busy = %v, want 150µs", got)
+	}
+}
+
+func TestOverlapWithSelfOverlappingActors(t *testing.T) {
+	r := New(0)
+	// Actor a: nested spans covering [0,100). Actor b: [50,200) twice.
+	r.Record("a", us(0), us(100), "")
+	r.Record("a", us(20), us(80), "")
+	r.Record("b", us(50), us(200), "")
+	r.Record("b", us(50), us(200), "")
+	if got := r.Overlap("a", "b"); got != us(50) {
+		t.Errorf("Overlap = %v, want 50µs", got)
+	}
+	if got := r.Overlap("a", "a"); got != us(100) {
+		t.Errorf("self Overlap = %v, want Busy = 100µs", got)
+	}
+}
+
+func TestTimelineSingleInstant(t *testing.T) {
+	// Every span at the same zero-width instant: the range is widened to
+	// one unit instead of dividing by zero, and the marks still render.
+	r := New(0)
+	r.Record("a", us(5), us(5), "a")
+	r.Record("b", us(5), us(5), "b")
+	out := r.Timeline(20)
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Fatalf("instant spans invisible:\n%s", out)
+	}
+	if !strings.Contains(out, "2 spans") {
+		t.Errorf("header missing span count:\n%s", out)
+	}
+}
+
+func TestTimelineLabelCollision(t *testing.T) {
+	// Two spans of one actor landing in the same cell: the later-recorded
+	// mark wins the cell, and no cell escapes the row width.
+	r := New(0)
+	r.Record("a", us(0), us(1000), "P:pack")
+	r.Record("a", us(0), us(1000), "C:commit")
+	out := r.Timeline(10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	row := lines[len(lines)-1]
+	if strings.Contains(row, "P") {
+		t.Errorf("overwritten mark survived: %q", row)
+	}
+	if strings.Count(row, "C") != 10 {
+		t.Errorf("row = %q, want 10 C cells", row)
+	}
+}

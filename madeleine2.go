@@ -40,6 +40,7 @@ import (
 	"madeleine2/internal/simnet"
 	"madeleine2/internal/sisci"
 	"madeleine2/internal/tcpnet"
+	"madeleine2/internal/trace"
 	"madeleine2/internal/vclock"
 	"madeleine2/internal/via"
 )
@@ -110,6 +111,26 @@ func NewSession(w *World) *Session { return core.NewSession(w) }
 
 // NewActor creates a thread-of-control clock.
 func NewActor(name string) *Actor { return vclock.NewActor(name) }
+
+// Observability types: the session-wide sink behind the tools' -trace
+// flags. Install with Session.SetObserver before creating channels.
+type (
+	// Observer aggregates spans and per-TM latency histograms for every
+	// layer of a session's message path. A nil *Observer is the no-op
+	// fast path.
+	Observer = core.Observer
+	// TraceRecorder collects virtual-time spans; render with Timeline
+	// (ASCII) or Chrome (trace-event JSON).
+	TraceRecorder = trace.Recorder
+)
+
+// NewObserver builds an observer recording spans into rec (nil keeps
+// only the per-TM latency histograms).
+func NewObserver(rec *TraceRecorder) *Observer { return core.NewObserver(rec) }
+
+// NewTraceRecorder builds a span recorder keeping at most limit spans
+// (0 = unbounded).
+func NewTraceRecorder(limit int) *TraceRecorder { return trace.New(limit) }
 
 // NewVirtualChannel collectively creates a virtual channel (§6).
 func NewVirtualChannel(sess *Session, spec VirtualChannelSpec) (map[int]*VirtualChannel, error) {
