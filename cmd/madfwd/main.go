@@ -7,6 +7,8 @@
 //	madfwd                      # SCI→Myrinet, 16 kB packets
 //	madfwd -reverse -mtu 8192   # Myrinet→SCI with 8 kB packets
 //	madfwd -control 45          # with the gateway bandwidth-control extension
+//	madfwd -mtu 512 -fault-corrupt 0.01 -fault-drop 0.01 -trace
+//	                            # hostile fabric: reliable mode + counters
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 	"madeleine2/internal/bench"
 	"madeleine2/internal/core"
 	"madeleine2/internal/fwd"
+	"madeleine2/internal/simnet"
 	"madeleine2/internal/trace"
 	"madeleine2/internal/vclock"
 )
@@ -29,16 +32,45 @@ func main() {
 	forceCopy := flag.Bool("force-copy", false, "disable the static-buffer hand-off (ablation)")
 	showTrace := flag.Bool("trace", false, "print the whole path's span timeline and per-TM latencies")
 	traceJSON := flag.String("trace-json", "", "with -trace, also write a Chrome trace-event JSON file")
+	reliable := flag.Bool("reliable", false, "run the Generic TM's ACK/NACK reliable mode (implied by any -fault flag)")
+	faultCorrupt := flag.Float64("fault-corrupt", 0, "per-transfer single-byte corruption probability on every adapter")
+	faultDrop := flag.Float64("fault-drop", 0, "per-transfer scrambled-frame (drop) probability on every adapter")
+	faultDelay := flag.Float64("fault-delay", 0, "extra delivery delay in µs on every adapter")
+	faultJitter := flag.Float64("fault-jitter", 0, "uniform extra delivery jitter in µs on every adapter")
+	faultSeed := flag.Int64("fault-seed", 1, "seed of the deterministic fault stream")
+	faultMin := flag.Int("fault-min", 0, "fault eligibility floor in bytes (0 = simnet default, sparing control frames)")
+	retries := flag.Int("retries", 0, "reliable mode: max retransmits per packet (0 = default)")
 	flag.Parse()
+
+	var plan *simnet.FaultPlan
+	if *faultCorrupt > 0 || *faultDrop > 0 || *faultDelay > 0 || *faultJitter > 0 {
+		plan = &simnet.FaultPlan{
+			Seed:     *faultSeed,
+			Corrupt:  *faultCorrupt,
+			Drop:     *faultDrop,
+			Delay:    int64(vclock.Micros(*faultDelay)),
+			Jitter:   int64(vclock.Micros(*faultJitter)),
+			MinBytes: *faultMin,
+		}
+	}
+	hostile := plan != nil || *reliable
 
 	var obs *core.Observer
 	if *showTrace || *traceJSON != "" {
 		obs = core.NewObserver(trace.New(1 << 16))
 	}
-	vcs, err := bench.HetVCObserved("madfwd", *mtu, obs, func(s *fwd.Spec) {
+	mutate := func(s *fwd.Spec) {
 		s.BandwidthControl = *control
 		s.ForceGatewayCopy = *forceCopy
-	})
+		s.MaxRetries = *retries
+	}
+	var vcs map[int]*fwd.VC
+	var err error
+	if hostile {
+		vcs, err = bench.LossyHetVC("madfwd", *mtu, plan, obs, mutate)
+	} else {
+		vcs, err = bench.HetVCObserved("madfwd", *mtu, obs, mutate)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "madfwd: %v\n", err)
 		os.Exit(1)
@@ -60,6 +92,30 @@ func main() {
 		fmt.Printf("  gateway bandwidth control: %.0f MB/s incoming\n", *control)
 	}
 	fmt.Printf("  steady one-way: %v  →  %.1f MB/s\n", t, vclock.MBps(*msg, t))
+	if hostile {
+		var rs fwd.RelStats
+		for _, v := range vcs {
+			rs.Add(v.RelStats())
+		}
+		fmt.Printf("  reliability: %d packets, %d retransmits, %d acks, %d nacks (%d damaged), %d dup-suppressed, %d backoffs\n",
+			rs.Packets, rs.Retransmits, rs.Acks, rs.Nacks, rs.CtlDamaged, rs.DupSuppress, rs.Backoffs)
+		fmt.Printf("  drops: header %d, len %d, crc %d, route %d, closed %d\n",
+			rs.DropHeader, rs.DropLen, rs.DropCRC, rs.DropRoute, rs.DropClosed)
+		if plan != nil {
+			var fs simnet.FaultStats
+			for _, v := range vcs {
+				for _, a := range v.Session().World().Adapters() {
+					s := a.FaultStats()
+					fs.Corrupted += s.Corrupted
+					fs.Dropped += s.Dropped
+					fs.Delayed += s.Delayed
+				}
+				break // one handle suffices: the world is shared
+			}
+			fmt.Printf("  faults injected: %d corrupted, %d dropped, %d delayed\n",
+				fs.Corrupted, fs.Dropped, fs.Delayed)
+		}
+	}
 	if obs != nil {
 		fmt.Println()
 		fmt.Print(obs.Recorder().Timeline(100))

@@ -84,6 +84,33 @@ func HetVCObserved(name string, mtu int, obs *core.Observer, mutate func(*fwd.Sp
 	return fwd.New(sess, spec)
 }
 
+// LossyHetVC is HetVCObserved on a hostile fabric: the FaultPlan (nil for
+// a clean fabric) is installed on every adapter of the two-cluster world
+// before any channel exists, and the virtual channel runs the Generic
+// TM's reliable mode so the faults are survived, not fatal.
+func LossyHetVC(name string, mtu int, plan *simnet.FaultPlan, obs *core.Observer, mutate func(*fwd.Spec)) (map[int]*fwd.VC, error) {
+	sess := TwoClusters()
+	sess.SetObserver(obs)
+	if plan != nil {
+		for _, a := range sess.World().Adapters() {
+			a.SetFaults(plan)
+		}
+	}
+	spec := fwd.Spec{
+		Name:     name,
+		MTU:      mtu,
+		Reliable: true,
+		Segments: []core.ChannelSpec{
+			{Driver: "sisci", Nodes: []int{0, 1, 2}},
+			{Driver: "bip", Nodes: []int{2, 3, 4}},
+		},
+	}
+	if mutate != nil {
+		mutate(&spec)
+	}
+	return fwd.New(sess, spec)
+}
+
 // CloseVCs shuts a virtual channel set down.
 func CloseVCs(vcs map[int]*fwd.VC) {
 	for _, v := range vcs {

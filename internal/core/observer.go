@@ -23,14 +23,45 @@ import (
 type Observer struct {
 	rec *trace.Recorder
 
-	mu  sync.Mutex
-	tms map[string]*trace.Histogram
+	mu       sync.Mutex
+	tms      map[string]*trace.Histogram
+	counters map[string]int64
 }
 
 // NewObserver returns an observer recording spans into rec (which may be
 // nil to keep only the per-TM histograms).
 func NewObserver(rec *trace.Recorder) *Observer {
-	return &Observer{rec: rec, tms: make(map[string]*trace.Histogram)}
+	return &Observer{
+		rec:      rec,
+		tms:      make(map[string]*trace.Histogram),
+		counters: make(map[string]int64),
+	}
+}
+
+// Count bumps a named event counter — the sink layers use for discrete
+// reliability events (retransmits, drops by cause, duplicate
+// suppressions) that have no duration to record as a span. Nil-safe.
+func (o *Observer) Count(name string, delta int64) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.counters[name] += delta
+	o.mu.Unlock()
+}
+
+// Counters snapshots every named event counter.
+func (o *Observer) Counters() map[string]int64 {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make(map[string]int64, len(o.counters))
+	for name, n := range o.counters {
+		out[name] = n
+	}
+	return out
 }
 
 // Recorder exposes the span sink; nil-safe.
@@ -75,24 +106,37 @@ func (o *Observer) TMLatencies() map[string]trace.HistSnapshot {
 	return out
 }
 
-// Report renders the per-TM latency histograms as a sorted table.
+// Report renders the per-TM latency histograms as a sorted table,
+// followed by the named event counters when any have fired.
 func (o *Observer) Report() string {
+	var b strings.Builder
 	lats := o.TMLatencies()
 	if len(lats) == 0 {
-		return "(no TM latencies observed)\n"
+		b.WriteString("(no TM latencies observed)\n")
+	} else {
+		names := make([]string, 0, len(lats))
+		for n := range lats {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(&b, "%-18s %8s %12s %12s %12s %12s %12s\n",
+			"tm", "count", "min", "p50", "p99", "max", "mean")
+		for _, n := range names {
+			s := lats[n]
+			fmt.Fprintf(&b, "%-18s %8d %12v %12v %12v %12v %12v\n",
+				n, s.Count, s.Min, s.P50, s.P99, s.Max, s.Mean())
+		}
 	}
-	names := make([]string, 0, len(lats))
-	for n := range lats {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	var b strings.Builder
-	fmt.Fprintf(&b, "%-18s %8s %12s %12s %12s %12s %12s\n",
-		"tm", "count", "min", "p50", "p99", "max", "mean")
-	for _, n := range names {
-		s := lats[n]
-		fmt.Fprintf(&b, "%-18s %8d %12v %12v %12v %12v %12v\n",
-			n, s.Count, s.Min, s.P50, s.P99, s.Max, s.Mean())
+	if counters := o.Counters(); len(counters) > 0 {
+		names := make([]string, 0, len(counters))
+		for n := range counters {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		b.WriteString("events:\n")
+		for _, n := range names {
+			fmt.Fprintf(&b, "  %-24s %8d\n", n, counters[n])
+		}
 	}
 	return b.String()
 }

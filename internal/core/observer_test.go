@@ -191,6 +191,44 @@ func TestObserverNilAccessors(t *testing.T) {
 	if !strings.Contains(obs.Report(), "no TM latencies") {
 		t.Errorf("nil Report = %q", obs.Report())
 	}
+	obs.Count("fwd/retransmit", 1) // nil-safe no-op
+	if obs.Counters() != nil {
+		t.Error("nil observer counters must be nil")
+	}
+}
+
+// TestObserverCounters exercises the named event counters the reliability
+// layer reports discrete events (retransmits, drops by cause) through.
+func TestObserverCounters(t *testing.T) {
+	obs := NewObserver(nil)
+	if len(obs.Counters()) != 0 {
+		t.Fatalf("fresh observer has counters: %v", obs.Counters())
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				obs.Count("fwd/retransmit", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	obs.Count("fwd/drop/crc", 3)
+	got := obs.Counters()
+	if got["fwd/retransmit"] != 800 || got["fwd/drop/crc"] != 3 {
+		t.Errorf("counters = %v", got)
+	}
+	// Counters returns a snapshot, not the live map.
+	got["fwd/retransmit"] = 0
+	if obs.Counters()["fwd/retransmit"] != 800 {
+		t.Error("Counters must snapshot, not alias")
+	}
+	rep := obs.Report()
+	if !strings.Contains(rep, "events:") || !strings.Contains(rep, "fwd/retransmit") {
+		t.Errorf("Report must render fired counters: %q", rep)
+	}
 }
 
 // TestObserverStatsConcurrent drives an observed channel from many

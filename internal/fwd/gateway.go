@@ -22,6 +22,14 @@ import (
 // send thread adds the per-step software overhead (≈50 µs, §6.2.2), the
 // PCI bus's full-duplex floor (§6.2.2) and the DMA-over-PIO penalty
 // (§6.2.3) through the node's bus model.
+//
+// Remote-derived anomalies never panic the daemon. In reliable mode every
+// damaged packet is counted, drained and NACKed; without the protocol the
+// daemon degrades as far as the wire format allows: a corrupt payload is
+// relayed for the edge to detect, an unroutable packet is dropped, and
+// only a damaged header — which hides the payload length and therefore
+// desynchronizes the byte stream beyond recovery — is fatal, for the
+// handle (VC.Err), not the process.
 
 // token is one of a pipeline's two forwarding buffers.
 type token struct {
@@ -50,7 +58,9 @@ type pipeline struct {
 // pipelineBuffers is the dual-buffering depth (Fig. 9 uses two).
 const pipelineBuffers = 2
 
-// pipe returns (creating and starting) the pipeline for a direction.
+// pipe returns (creating and starting) the pipeline for a direction. A
+// pipeline created after Close has begun is stillborn: its queues close
+// immediately so the requesting daemon unblocks and exits.
 func (v *VC) pipe(inSeg, outSeg int) *pipeline {
 	v.mu.Lock()
 	defer v.mu.Unlock()
@@ -68,6 +78,10 @@ func (v *VC) pipe(inSeg, outSeg int) *pipeline {
 			p.free.Push(&token{buf: make([]byte, v.mtu)})
 		}
 		v.pipes[key] = p
+		if v.closing() {
+			p.work.Close()
+			p.free.Close()
+		}
 		go p.run()
 	}
 	return p
@@ -78,79 +92,274 @@ func (v *VC) pipe(inSeg, outSeg int) *pipeline {
 // the payload locally or forwards it.
 func (v *VC) daemon(segIdx int, ch *core.Channel) {
 	a := vclock.NewActor(fmt.Sprintf("%s/n%d/seg%d-rx", v.name, v.rank, segIdx))
-	var throttleAt vclock.Time
+	d := &daemonState{
+		v: v, a: a, segIdx: segIdx, ch: ch,
+		lastLSeq: make(map[int]uint32),
+	}
+	if v.spec.Reliable {
+		d.scratch = make([]byte, v.mtu)
+	}
+	hsize := hdrSize
+	if v.spec.Reliable {
+		hsize = rhdrSize
+	}
 	for {
 		conn, err := ch.BeginUnpacking(a)
 		if err != nil {
 			return // channel closed
 		}
-		hb := make([]byte, hdrSize)
+		hb := make([]byte, hsize)
 		if err := conn.Unpack(hb, core.SendCheaper, core.ReceiveExpress); err != nil {
-			panic(fmt.Sprintf("fwd daemon %s: header: %v", a.Name(), err))
+			v.daemonIO(a, err)
+			return
 		}
-		hdrAt := a.Now() // the packet's wire activity starts here
-		h, err := decodeHeader(hb)
-		if err != nil {
-			panic(fmt.Sprintf("fwd daemon %s: %v", a.Name(), err))
+		d.hdrAt = a.Now() // the packet's wire activity starts here
+		var keep bool
+		if v.spec.Reliable {
+			keep = d.recvReliable(conn, hb)
+		} else {
+			keep = d.recvBestEffort(conn, hb)
 		}
-		// The future-work bandwidth control: regulate the incoming flow by
-		// pacing payload receptions at the configured average rate (§7).
-		if v.spec.BandwidthControl > 0 {
-			throttleAt += vclock.TimeForBytes(h.Len, v.spec.BandwidthControl)
-			a.Sync(throttleAt)
+		if !keep {
+			return
 		}
-		if h.Len > v.mtu {
-			panic(fmt.Sprintf("fwd daemon %s: insane packet length %d (MTU %d) — corrupted header?", a.Name(), h.Len, v.mtu))
-		}
-		if h.Dst == v.rank {
-			payload := make([]byte, h.Len)
+	}
+}
+
+// daemonState carries one receiver daemon's per-loop context.
+type daemonState struct {
+	v      *VC
+	a      *vclock.Actor
+	segIdx int
+	ch     *core.Channel
+
+	hdrAt      vclock.Time
+	throttleAt vclock.Time
+	lastLSeq   map[int]uint32 // reliable: previous hop -> last accepted link seq
+	scratch    []byte         // reliable: drain target for packets being dropped
+}
+
+// daemonIO classifies a channel-level failure under a daemon: shutdown is
+// quiet, anything else surfaces on the handle. Either way the daemon
+// stops.
+func (v *VC) daemonIO(a *vclock.Actor, err error) {
+	if !errors.Is(err, core.ErrClosed) {
+		v.fail(fmt.Errorf("fwd daemon %s: %w", a.Name(), err))
+	}
+}
+
+// throttle is the future-work bandwidth control: regulate the incoming
+// flow by pacing payload receptions at the configured average rate (§7).
+func (d *daemonState) throttle(n int) {
+	if d.v.spec.BandwidthControl > 0 {
+		d.throttleAt += vclock.TimeForBytes(n, d.v.spec.BandwidthControl)
+		d.a.Sync(d.throttleAt)
+	}
+}
+
+// recvBestEffort handles one packet without the reliability protocol —
+// the paper's trust-the-fabric mode, degrading gracefully instead of
+// panicking. Reports whether the daemon should keep serving.
+func (d *daemonState) recvBestEffort(conn *core.Connection, hb []byte) bool {
+	v, a := d.v, d.a
+	h, err := decodeHeader(hb)
+	if err != nil {
+		// The header hides the payload length; without it the byte
+		// stream cannot be resynchronized. Lose the handle, not the
+		// process.
+		v.count("fwd/drop/header", &v.ctr.dropHeader)
+		v.fail(fmt.Errorf("fwd daemon %s: unrecoverable: %w", a.Name(), err))
+		return false
+	}
+	d.throttle(h.Len)
+	if h.Len < 0 || h.Len > v.mtu {
+		v.count("fwd/drop/len", &v.ctr.dropLen)
+		v.fail(fmt.Errorf("fwd daemon %s: unrecoverable: packet length %d (MTU %d), corrupted header", a.Name(), h.Len, v.mtu))
+		return false
+	}
+	if h.Dst == v.rank {
+		payload := make([]byte, h.Len)
+		if h.Len > 0 {
 			if err := conn.Unpack(payload, core.SendCheaper, core.ReceiveCheaper); err != nil {
-				panic(fmt.Sprintf("fwd daemon %s: payload: %v", a.Name(), err))
+				v.daemonIO(a, err)
+				return false
 			}
-			if err := conn.EndUnpacking(); err != nil {
-				panic(fmt.Sprintf("fwd daemon %s: end: %v", a.Name(), err))
-			}
-			if h.Flags&flagFirst != 0 {
-				v.msgStart.Push(h.Origin)
-			}
-			v.stream(h.Origin).q.Push(chunk{
-				data:    payload,
-				stamp:   a.Now(),
-				first:   h.Flags&flagFirst != 0,
-				corrupt: checksum(payload) != h.CRC,
-			})
-			continue
-		}
-		// Forwarding: resolve the outgoing segment and obtain one of the
-		// pipeline's two buffers (the dual-buffer exchange point).
-		hp, ok := v.next[h.Dst]
-		if !ok {
-			panic(fmt.Sprintf("fwd daemon %s: no route to %d", a.Name(), h.Dst))
-		}
-		p := v.pipe(segIdx, hp.seg)
-		tok, ok := p.free.Pop()
-		if !ok {
-			return // pipeline closed
-		}
-		a.Sync(tok.stamp)
-		if h.Len > len(tok.buf) {
-			panic(fmt.Sprintf("fwd daemon %s: packet %d exceeds MTU %d", a.Name(), h.Len, len(tok.buf)))
-		}
-		payload := tok.buf[:h.Len]
-		if err := conn.Unpack(payload, core.SendCheaper, core.ReceiveCheaper); err != nil {
-			panic(fmt.Sprintf("fwd daemon %s: payload: %v", a.Name(), err))
 		}
 		if err := conn.EndUnpacking(); err != nil {
-			panic(fmt.Sprintf("fwd daemon %s: end: %v", a.Name(), err))
+			v.daemonIO(a, err)
+			return false
 		}
-		// The incoming transfer's wire interval: from the header's arrival
-		// through the payload's byte time (the receive side of Fig. 9).
-		if checksum(payload) != h.CRC {
-			panic(fmt.Sprintf("fwd daemon %s: packet %d from %d failed its checksum mid-route", a.Name(), h.Seq, h.Origin))
+		corrupt := checksum(payload) != h.CRC
+		if corrupt {
+			v.count("fwd/delivered-corrupt", &v.ctr.deliveredCorrupt)
 		}
-		v.rec.Record(a.Name(), hdrAt, hdrAt+ch.Link(h.Len).ByteTime(h.Len), "r")
-		p.work.Push(workItem{hdr: h, payload: payload, tok: tok, stampIn: a.Now()})
+		return d.deliver(h, payload, corrupt)
 	}
+	hp, ok := v.next[h.Dst]
+	if !ok {
+		// A routable header with an unknown destination: drain and drop
+		// this packet, keep the stream (and the daemon) alive.
+		v.count("fwd/drop/route", &v.ctr.dropRoute)
+		if h.Len > 0 {
+			sink := make([]byte, h.Len)
+			if err := conn.Unpack(sink, core.SendCheaper, core.ReceiveCheaper); err != nil {
+				v.daemonIO(a, err)
+				return false
+			}
+		}
+		if err := conn.EndUnpacking(); err != nil {
+			v.daemonIO(a, err)
+			return false
+		}
+		return true
+	}
+	// Forwarding: obtain one of the pipeline's two buffers (the
+	// dual-buffer exchange point).
+	p := v.pipe(d.segIdx, hp.seg)
+	tok, ok := p.free.Pop()
+	if !ok {
+		return false // pipeline closed
+	}
+	a.Sync(tok.stamp)
+	payload := tok.buf[:h.Len]
+	if h.Len > 0 {
+		if err := conn.Unpack(payload, core.SendCheaper, core.ReceiveCheaper); err != nil {
+			v.daemonIO(a, err)
+			return false
+		}
+	}
+	if err := conn.EndUnpacking(); err != nil {
+		v.daemonIO(a, err)
+		return false
+	}
+	if checksum(payload) != h.CRC {
+		// Mid-route corruption: the packet is still routable, so relay
+		// it and let the delivering edge detect it — the gateway only
+		// counts the sighting. Dropping here would silently desync the
+		// destination's stream, which has no way to learn a packet died.
+		v.count("fwd/relayed-corrupt", &v.ctr.relayedCorrupt)
+	}
+	// The incoming transfer's wire interval: from the header's arrival
+	// through the payload's byte time (the receive side of Fig. 9).
+	v.rec.Record(a.Name(), d.hdrAt, d.hdrAt+d.ch.Link(h.Len).ByteTime(h.Len), "r")
+	return p.work.PushIfOpen(workItem{hdr: h, payload: payload, tok: tok, stampIn: a.Now()})
+}
+
+// recvReliable handles one packet under the reliability protocol: decide
+// the packet's fate from its (checksummed) header, drain exactly one MTU
+// of payload whatever the fate, then answer with exactly one verdict.
+func (d *daemonState) recvReliable(conn *core.Connection, hb []byte) bool {
+	v, a := d.v, d.a
+	prev := conn.Remote()
+	h, herr := decodeHeaderR(hb)
+
+	const (
+		frDeliver = iota
+		frForward
+		frDup
+		frDrop
+	)
+	fate := frDrop
+	var hp hop
+	switch {
+	case herr != nil:
+		v.count("fwd/drop/header", &v.ctr.dropHeader)
+	case h.Len < 0 || h.Len > v.mtu:
+		v.count("fwd/drop/len", &v.ctr.dropLen)
+	case h.LSeq == d.lastLSeq[prev]:
+		// The retransmit of a packet whose acknowledgment was lost:
+		// suppress the duplicate delivery, acknowledge again.
+		fate = frDup
+		v.count("fwd/dup-suppressed", &v.ctr.dups)
+	case h.Dst == v.rank:
+		fate = frDeliver
+	default:
+		var ok bool
+		if hp, ok = v.next[h.Dst]; ok {
+			fate = frForward
+		} else {
+			v.count("fwd/drop/route", &v.ctr.dropRoute)
+		}
+	}
+	if herr == nil {
+		d.throttle(h.Len)
+	}
+
+	// Fixed framing: a reliable packet is always exactly one MTU on the
+	// wire, so every fate — even a damaged header — can drain it and
+	// keep the stream aligned.
+	var p *pipeline
+	var tok *token
+	dst := d.scratch
+	switch fate {
+	case frDeliver:
+		dst = make([]byte, v.mtu)
+	case frForward:
+		p = v.pipe(d.segIdx, hp.seg)
+		var ok bool
+		if tok, ok = p.free.Pop(); !ok {
+			return false // pipeline closed
+		}
+		a.Sync(tok.stamp)
+		dst = tok.buf
+	}
+	if err := conn.Unpack(dst[:v.mtu], core.SendCheaper, core.ReceiveCheaper); err != nil {
+		v.daemonIO(a, err)
+		return false
+	}
+	if err := conn.EndUnpacking(); err != nil {
+		v.daemonIO(a, err)
+		return false
+	}
+	if (fate == frDeliver || fate == frForward) && checksum(dst[:h.Len]) != h.CRC {
+		v.count("fwd/drop/crc", &v.ctr.dropCRC)
+		if tok != nil {
+			p.free.PushIfOpen(tok)
+		}
+		fate = frDrop
+	}
+
+	switch fate {
+	case frDeliver:
+		if !d.deliver(h, dst[:h.Len], false) {
+			return false
+		}
+		d.lastLSeq[prev] = h.LSeq
+	case frForward:
+		v.rec.Record(a.Name(), d.hdrAt, d.hdrAt+d.ch.Link(h.Len).ByteTime(h.Len), "r")
+		if !p.work.PushIfOpen(workItem{hdr: h, payload: tok.buf[:h.Len], tok: tok, stampIn: a.Now()}) {
+			return false
+		}
+		d.lastLSeq[prev] = h.LSeq
+	}
+	// Exactly one verdict per arrival, after the packet is truly taken
+	// (or refused): an acknowledged packet is never lost to a full
+	// pipeline or a closing stream.
+	v.sendVerdict(a, d.segIdx, prev, fate != frDrop)
+	return true
+}
+
+// deliver pushes one accepted payload into the destination stream. A
+// false return means delivery raced shutdown and the daemon should stop.
+func (d *daemonState) deliver(h header, payload []byte, corrupt bool) bool {
+	v := d.v
+	if h.Flags&flagFirst != 0 {
+		if !v.msgStart.PushIfOpen(h.Origin) {
+			v.count("fwd/drop/closed", &v.ctr.dropClosed)
+			return false
+		}
+	}
+	if !v.stream(h.Origin).q.PushIfOpen(chunk{
+		data:    payload,
+		stamp:   d.a.Now(),
+		first:   h.Flags&flagFirst != 0,
+		last:    h.Flags&flagLast != 0,
+		corrupt: corrupt,
+	}) {
+		v.count("fwd/drop/closed", &v.ctr.dropClosed)
+		return false
+	}
+	return true
 }
 
 // run is the pipeline's send thread.
@@ -203,16 +412,18 @@ func (p *pipeline) run() {
 			a.Advance(vclock.TimeForBytes(n, model.MadCopyBandwidth))
 		}
 
-		if err := sendPacketOn(outCh, a, v.next[w.hdr.Dst].next, w.hdr, w.payload); err != nil {
-			if errors.Is(err, core.ErrClosed) {
-				return // outgoing channel closed mid-shutdown
+		if err := v.sendPacketOn(p.outSeg, a, v.next[w.hdr.Dst].next, w.hdr, w.payload); err != nil {
+			if !errors.Is(err, core.ErrClosed) {
+				v.fail(fmt.Errorf("fwd pipeline %s: %w", a.Name(), err))
 			}
-			panic(fmt.Sprintf("fwd pipeline %s: %v", a.Name(), err))
+			return
 		}
 		v.rec.Record(a.Name(), ready, a.Now(), "s")
 		prevReady, prevSendEnd = ready, a.Now()
 
 		w.tok.stamp = a.Now()
-		p.free.Push(w.tok)
+		if !p.free.PushIfOpen(w.tok) {
+			return
+		}
 	}
 }

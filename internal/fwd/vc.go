@@ -35,6 +35,20 @@ type Spec struct {
 	// ForceGatewayCopy disables the static-buffer hand-off optimization of
 	// §6.1 and always pays an extra copy on gateways (ablation).
 	ForceGatewayCopy bool
+	// Reliable turns on the per-link ACK/NACK stop-and-wait protocol: a
+	// companion control channel per segment, link sequence numbers, a
+	// header checksum, MTU-padded fixed framing, bounded retransmit with
+	// virtual-time backoff, and duplicate suppression. The paper assumes
+	// reliable networks (§6.1); this mode keeps a virtual channel correct
+	// on a fabric with a simnet.FaultPlan installed, at the price of one
+	// acknowledgment round trip per packet per link.
+	Reliable bool
+	// MaxRetries bounds retransmissions per packet in reliable mode
+	// (0 selects 8). Exhaustion is fatal for the handle: see VC.Err.
+	MaxRetries int
+	// Backoff is the first retransmit's virtual-time wait, doubling per
+	// attempt (0 selects 50 µs).
+	Backoff vclock.Time
 	// Trace, when non-nil, overrides the session observer's recorder as
 	// the sink for the gateway pipeline's receive and send spans. Leave
 	// it nil to share the sink every other layer records into (a session
@@ -49,6 +63,7 @@ type chunk struct {
 	data    []byte
 	stamp   vclock.Time
 	first   bool
+	last    bool // flagLast: lets Unpack drain a poisoned message to its end
 	corrupt bool // checksum mismatch: surfaced by Unpack
 }
 
@@ -78,6 +93,7 @@ type VC struct {
 	rec  *trace.Recorder // Spec.Trace, or the session observer's recorder
 
 	chans map[int]*core.Channel // segment index -> this rank's real channel
+	ctls  map[int]*core.Channel // reliable mode: segment index -> control channel
 	next  map[int]hop           // destination rank -> next hop
 
 	msgStart *simnet.Queue[int]
@@ -85,9 +101,17 @@ type VC struct {
 	streams  map[int]*stream
 	pipes    map[[2]int]*pipeline
 
-	closed  chan struct{}
-	daemons sync.WaitGroup
-	members []int
+	rel *relState // reliable mode only
+	ctr relCounters
+	obs *core.Observer
+
+	failMu  sync.Mutex
+	failErr error
+
+	closed    chan struct{}
+	closeOnce sync.Once
+	daemons   sync.WaitGroup
+	members   []int
 }
 
 // New collectively creates the virtual channel and returns the per-rank
@@ -104,7 +128,16 @@ func New(sess *core.Session, spec Spec) (map[int]*VC, error) {
 	if spec.MTU < hdrSize || spec.MTU > maxMTU {
 		return nil, fmt.Errorf("fwd: MTU %d out of range [%d, %d]", spec.MTU, hdrSize, maxMTU)
 	}
+	if spec.Reliable {
+		if spec.MaxRetries == 0 {
+			spec.MaxRetries = 8
+		}
+		if spec.Backoff == 0 {
+			spec.Backoff = vclock.Micros(50)
+		}
+	}
 	segChans := make([]map[int]*core.Channel, len(spec.Segments))
+	segCtls := make([]map[int]*core.Channel, len(spec.Segments))
 	segMembers := make([][]int, len(spec.Segments))
 	for i, cs := range spec.Segments {
 		cs.Name = fmt.Sprintf("%s#%d", spec.Name, i)
@@ -115,6 +148,18 @@ func New(sess *core.Session, spec Spec) (map[int]*VC, error) {
 		segChans[i] = chans
 		for r := range chans {
 			segMembers[i] = append(segMembers[i], r)
+		}
+		if spec.Reliable {
+			// The acknowledgment path gets its own real channel per
+			// segment so verdict frames never interleave with (or wait
+			// behind) data packets.
+			cc := spec.Segments[i]
+			cc.Name = fmt.Sprintf("%s#%dc", spec.Name, i)
+			ctls, err := sess.NewChannel(cc)
+			if err != nil {
+				return nil, fmt.Errorf("fwd: segment %d control: %w", i, err)
+			}
+			segCtls[i] = ctls
 		}
 	}
 	routes, members, err := buildRoutes(segMembers)
@@ -135,7 +180,9 @@ func New(sess *core.Session, spec Spec) (map[int]*VC, error) {
 			spec:     spec,
 			sess:     sess,
 			rec:      rec,
+			obs:      sess.Observer(),
 			chans:    make(map[int]*core.Channel),
+			ctls:     make(map[int]*core.Channel),
 			next:     routes[r],
 			msgStart: simnet.NewQueue[int](),
 			streams:  make(map[int]*stream),
@@ -143,9 +190,17 @@ func New(sess *core.Session, spec Spec) (map[int]*VC, error) {
 			closed:   make(chan struct{}),
 			members:  members,
 		}
+		if spec.Reliable {
+			v.rel = newRelState()
+		}
 		for i, chans := range segChans {
 			if ch, ok := chans[r]; ok {
 				v.chans[i] = ch
+			}
+			if spec.Reliable {
+				if cc, ok := segCtls[i][r]; ok {
+					v.ctls[i] = cc
+				}
 			}
 		}
 		vcs[r] = v
@@ -158,6 +213,13 @@ func New(sess *core.Session, spec Spec) (map[int]*VC, error) {
 			go func(segIdx int, ch *core.Channel) {
 				defer v.daemons.Done()
 				v.daemon(segIdx, ch)
+			}(segIdx, ch)
+		}
+		for segIdx, ch := range v.ctls {
+			v.daemons.Add(1)
+			go func(segIdx int, ch *core.Channel) {
+				defer v.daemons.Done()
+				v.ctlDaemon(segIdx, ch)
 			}(segIdx, ch)
 		}
 	}
@@ -240,30 +302,41 @@ func (v *VC) Members() []int { return append([]int(nil), v.members...) }
 // MTU reports the route-wide packet size.
 func (v *VC) MTU() int { return v.mtu }
 
+// Session returns the session the virtual channel was built on.
+func (v *VC) Session() *core.Session { return v.sess }
+
 // Close shuts down this rank's daemons, pipelines and receive queues;
 // blocked and future BeginUnpacking calls fail once pending messages
-// drain. Idempotent.
+// drain. Idempotent and safe to race (fail invokes it from daemons and
+// senders). Every wake-up source — channels, pipeline queues, link
+// leases and verdicts — closes before the daemon join, so a daemon
+// blocked anywhere in the packet path exits instead of wedging Close.
 func (v *VC) Close() {
-	select {
-	case <-v.closed:
-		return
-	default:
-	}
-	close(v.closed)
-	for _, ch := range v.chans {
-		ch.Close()
-	}
-	v.daemons.Wait()
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	for _, p := range v.pipes {
-		p.work.Close()
-		p.free.Close()
-	}
-	v.msgStart.Close()
-	for _, st := range v.streams {
-		st.q.Close()
-	}
+	v.closeOnce.Do(func() {
+		close(v.closed)
+		for _, ch := range v.chans {
+			ch.Close()
+		}
+		for _, ch := range v.ctls {
+			ch.Close()
+		}
+		v.mu.Lock()
+		for _, p := range v.pipes {
+			p.work.Close()
+			p.free.Close()
+		}
+		v.mu.Unlock()
+		if v.rel != nil {
+			v.rel.closeAll()
+		}
+		v.daemons.Wait()
+		v.mu.Lock()
+		defer v.mu.Unlock()
+		v.msgStart.Close()
+		for _, st := range v.streams {
+			st.q.Close()
+		}
+	})
 }
 
 // stream returns (creating) the per-origin incoming stream.
@@ -317,7 +390,11 @@ func (c *VConn) Pack(data []byte, sm core.SendMode, rm core.RecvMode) error {
 		return core.ErrBadState
 	}
 	c.buf = append(c.buf, data...)
-	for len(c.buf) >= c.v.mtu {
+	// Fragment strictly above the MTU: a full final fragment stays buffered
+	// for EndPacking, so every message's last packet carries flagLast even
+	// when the length is an exact MTU multiple — the poisoned-message drain
+	// in Unpack depends on that boundary marker.
+	for len(c.buf) > c.v.mtu {
 		if err := c.sendPacket(c.buf[:c.v.mtu], false); err != nil {
 			return err
 		}
@@ -343,6 +420,14 @@ func (c *VConn) EndPacking() error {
 			return err
 		}
 		c.buf = nil
+	} else if c.sent {
+		// An express flush already shipped the final data packet without
+		// flagLast (it could not know the message was ending): close the
+		// message with a header-only terminator so the receiver always
+		// sees the boundary.
+		if err := c.sendPacket(nil, true); err != nil {
+			return err
+		}
 	}
 	if !c.sent {
 		return core.ErrEmptyMessage
@@ -350,7 +435,9 @@ func (c *VConn) EndPacking() error {
 	return nil
 }
 
-// sendPacket ships one self-described packet toward the next hop.
+// sendPacket ships one self-described packet toward the next hop. The
+// connection's progress state moves only after the send is known good: a
+// failed send must not claim a sequence number it never put on the wire.
 func (c *VConn) sendPacket(payload []byte, last bool) error {
 	h := header{Origin: c.v.rank, Dst: c.remote, Seq: c.seq, Len: len(payload), CRC: checksum(payload)}
 	if c.seq == 0 {
@@ -359,43 +446,63 @@ func (c *VConn) sendPacket(payload []byte, last bool) error {
 	if last {
 		h.Flags |= flagLast
 	}
+	hp := c.v.next[c.remote]
+	if err := c.v.sendPacketOn(hp.seg, c.actor, hp.next, h, payload); err != nil {
+		return err
+	}
 	c.seq++
 	c.sent = true
-	hp := c.v.next[c.remote]
-	return sendPacketOn(c.v.chans[hp.seg], c.actor, hp.next, h, payload)
+	return nil
 }
 
-// sendPacketOn transmits one Generic-TM packet as a two-block message on a
-// real channel: the self-description header travels express (the gateway
-// must read it before the payload), the payload cheaper.
-func sendPacketOn(ch *core.Channel, a *vclock.Actor, next int, h header, payload []byte) error {
-	if ch == nil {
+// sendPacketOn transmits one Generic-TM packet toward next on a segment,
+// through the reliability protocol when the channel runs in reliable mode.
+func (v *VC) sendPacketOn(seg int, a *vclock.Actor, next int, h header, payload []byte) error {
+	if v.chans[seg] == nil {
 		return fmt.Errorf("fwd: no local channel toward %d", next)
 	}
+	if v.spec.Reliable {
+		return v.sendReliable(seg, a, next, h, payload)
+	}
+	return rawSend(v.chans[seg], a, next, h.encode(), payload)
+}
+
+// rawSend transmits one packet as a two-block message on a real channel:
+// the self-description header travels express (the gateway must read it
+// before the payload), the payload cheaper. A header-only packet (an
+// end-of-message terminator) omits the payload block entirely.
+func rawSend(ch *core.Channel, a *vclock.Actor, next int, hb, payload []byte) error {
 	conn, err := ch.BeginPacking(a, next)
 	if err != nil {
 		return err
 	}
-	if err := conn.Pack(h.encode(), core.SendCheaper, core.ReceiveExpress); err != nil {
+	if err := conn.Pack(hb, core.SendCheaper, core.ReceiveExpress); err != nil {
 		return err
 	}
-	if err := conn.Pack(payload, core.SendCheaper, core.ReceiveCheaper); err != nil {
-		return err
+	if len(payload) > 0 {
+		if err := conn.Pack(payload, core.SendCheaper, core.ReceiveCheaper); err != nil {
+			return err
+		}
 	}
 	return conn.EndPacking()
 }
 
 // BeginUnpacking blocks for the first packet of the next incoming message
-// and returns its connection.
+// and returns its connection. After a fatal error (see Err) it reports
+// that error instead of a bare ErrClosed.
 func (v *VC) BeginUnpacking(a *vclock.Actor) (*VConn, error) {
 	origin, ok := v.msgStart.Pop()
 	if !ok {
-		return nil, core.ErrClosed
+		return nil, v.errOr(core.ErrClosed)
 	}
 	return &VConn{v: v, actor: a, remote: origin, sending: false, open: true}, nil
 }
 
-// Unpack extracts the next len(dst) bytes of the message.
+// Unpack extracts the next len(dst) bytes of the message. A checksum
+// failure poisons the whole message: the stream drains through the
+// message's last chunk so the next message starts on a clean boundary,
+// and the connection closes (further Unpack/EndUnpacking report
+// ErrBadState, not phantom asymmetry).
 func (c *VConn) Unpack(dst []byte, sm core.SendMode, rm core.RecvMode) error {
 	if !c.open || c.sending {
 		return core.ErrBadState
@@ -405,10 +512,18 @@ func (c *VConn) Unpack(dst []byte, sm core.SendMode, rm core.RecvMode) error {
 		if st.roff == len(st.residue) {
 			ck, ok := st.q.Pop()
 			if !ok {
-				return core.ErrClosed
+				return c.v.errOr(core.ErrClosed)
 			}
 			c.actor.Sync(ck.stamp)
 			if ck.corrupt {
+				for !ck.last {
+					if ck, ok = st.q.Pop(); !ok {
+						break
+					}
+					c.actor.Sync(ck.stamp)
+				}
+				st.residue, st.roff = nil, 0
+				c.open = false
 				return fmt.Errorf("fwd: packet from %d failed its checksum", c.remote)
 			}
 			st.residue, st.roff = ck.data, 0

@@ -1,0 +1,155 @@
+package simnet
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// FaultPlan programs a continuous fault process on an adapter: every
+// eligible transfer the adapter injects into the fabric — packet
+// deliveries through Deliver and remote writes into segments the adapter
+// exports — draws from a seeded random stream and may be corrupted (one
+// byte flipped), dropped (the whole frame scrambled beyond recognition,
+// the simulated analogue of a frame lost to a damaged preamble: the bytes
+// still occupy the wire, but nothing above the NIC can make sense of
+// them), or delayed. All effects are in virtual time; an adapter with no
+// plan installed pays a single atomic load per transfer.
+//
+// Drops deliberately scramble rather than remove: the simulated drivers
+// implement their own flow control (credits, rendezvous) and a silently
+// vanished frame would wedge them in ways no real lossy fabric does at
+// this layer. Scrambling destroys the payload, the framing magic and the
+// checksums of everything above, which is what the reliability machinery
+// has to detect and repair.
+type FaultPlan struct {
+	// Seed makes the fault stream deterministic: the same plan over the
+	// same delivery sequence produces the same faults. Each adapter mixes
+	// its identity into the seed so a plan shared by a whole world does
+	// not strike every adapter in lockstep.
+	Seed int64
+	// Corrupt is the per-transfer probability of a single flipped byte.
+	Corrupt float64
+	// Drop is the per-transfer probability of a scrambled frame.
+	Drop float64
+	// Delay is a fixed extra delivery delay; Jitter adds a uniform random
+	// extra in [0, Jitter). Both shift the transfer's arrival stamp.
+	Delay  int64 // vclock.Time
+	Jitter int64 // vclock.Time
+	// MinBytes exempts transfers smaller than this from every fault
+	// (0 selects DefaultFaultMinBytes). The floor models the reality that
+	// tiny control frames are far less exposed than bulk payloads, and it
+	// keeps the simulated drivers' own control traffic — credit returns,
+	// acknowledgment tags — out of the blast radius, since those protocols
+	// predate the fault machinery and are reliable by construction.
+	MinBytes int
+	// BurstStart/BurstEnd define a virtual-time window during which every
+	// eligible transfer injected is scrambled — a burst outage or
+	// partition. The window is inactive unless BurstEnd > BurstStart.
+	BurstStart int64 // vclock.Time
+	BurstEnd   int64 // vclock.Time
+}
+
+// DefaultFaultMinBytes is the eligibility floor when a plan leaves
+// MinBytes zero: big enough to spare every driver control frame and the
+// forwarding layer's packet headers, small enough to catch any MTU-sized
+// payload.
+const DefaultFaultMinBytes = 64
+
+// FaultStats counts the faults an adapter has injected.
+type FaultStats struct {
+	Corrupted int64 // single-byte flips
+	Dropped   int64 // scrambled frames (probability and burst window)
+	Delayed   int64 // transfers whose arrival was shifted
+}
+
+// faultState is an armed plan plus its random stream and counters.
+type faultState struct {
+	plan FaultPlan
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	corrupted int64
+	dropped   int64
+	delayed   int64
+}
+
+// SetFaults installs (or, with nil, removes) the adapter's fault plan.
+// Installing a plan resets the random stream and the fault counters.
+func (a *Adapter) SetFaults(p *FaultPlan) {
+	if p == nil {
+		a.faults.Store(nil)
+		return
+	}
+	fs := &faultState{plan: *p}
+	// Mix the adapter's identity into the seed: a shared plan still gives
+	// every adapter its own deterministic stream.
+	seed := p.Seed
+	seed = seed*1000003 + int64(a.node.id)*31 + int64(a.index)
+	for _, c := range a.network {
+		seed = seed*131 + int64(c)
+	}
+	fs.rng = rand.New(rand.NewSource(seed))
+	a.faults.Store(fs)
+}
+
+// FaultStats reports the faults injected since the plan was installed.
+func (a *Adapter) FaultStats() FaultStats {
+	fs := a.faults.Load()
+	if fs == nil {
+		return FaultStats{}
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return FaultStats{Corrupted: fs.corrupted, Dropped: fs.dropped, Delayed: fs.delayed}
+}
+
+// strike draws this transfer's fate. It returns the (possibly replaced)
+// data slice and an extra delay to add to the arrival stamp; the input
+// slice is never modified in place. inject is the transfer's virtual
+// injection time, tested against the burst window.
+func (fs *faultState) strike(data []byte, inject int64) ([]byte, int64) {
+	min := fs.plan.MinBytes
+	if min == 0 {
+		min = DefaultFaultMinBytes
+	}
+	if len(data) < min {
+		return data, 0
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var extra int64
+	if fs.plan.Delay > 0 || fs.plan.Jitter > 0 {
+		extra = fs.plan.Delay
+		if fs.plan.Jitter > 0 {
+			extra += fs.rng.Int63n(fs.plan.Jitter)
+		}
+		if extra > 0 {
+			fs.delayed++
+		}
+	}
+	burst := fs.plan.BurstEnd > fs.plan.BurstStart &&
+		inject >= fs.plan.BurstStart && inject < fs.plan.BurstEnd
+	switch {
+	case burst || (fs.plan.Drop > 0 && fs.rng.Float64() < fs.plan.Drop):
+		fs.dropped++
+		return scramble(data), extra
+	case fs.plan.Corrupt > 0 && fs.rng.Float64() < fs.plan.Corrupt:
+		fs.corrupted++
+		cp := append([]byte(nil), data...)
+		cp[fs.rng.Intn(len(cp))] ^= 0xFF
+		return cp, extra
+	}
+	return data, extra
+}
+
+// scramble returns a copy of data deterministically garbaged end to end —
+// the carcass of a dropped frame. Every byte changes (modulo the one
+// position per 256 where the mixing constant degenerates), so multi-byte
+// magics and checksums above cannot survive.
+func scramble(data []byte) []byte {
+	cp := make([]byte, len(data))
+	for i, b := range data {
+		cp[i] = ^b ^ byte(i*131)
+	}
+	return cp
+}

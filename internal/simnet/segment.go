@@ -12,10 +12,11 @@ import (
 // that the owner later copies out — while the write-visible time is a
 // virtual stamp computed by the writing driver.
 type Segment struct {
-	id   uint32
-	mu   sync.Mutex
-	buf  []byte
-	recs *Queue[WriteRecord]
+	id    uint32
+	owner *Adapter // exporting adapter; nil for bare NewSegment segments
+	mu    sync.Mutex
+	buf   []byte
+	recs  *Queue[WriteRecord]
 }
 
 // WriteRecord describes one remote write, in order of visibility.
@@ -41,8 +42,19 @@ func (s *Segment) Size() int { return len(s.buf) }
 // Write copies data into the segment at off and posts the write record.
 // It panics on out-of-range writes: segment layout is driver-owned and a
 // bad offset is a driver bug, the simulated analogue of corrupting a
-// mapped region.
+// mapped region. Writes crossing the fabric into an adapter-exported
+// segment pass through the owner's fault machinery — the segment is the
+// receive side of an SCI-style interconnect, so this is where a fault
+// plan strikes PIO traffic.
 func (s *Segment) Write(off int, data []byte, rec WriteRecord) {
+	if a := s.owner; a != nil {
+		data = a.corruptOnce(data)
+		if fs := a.faults.Load(); fs != nil {
+			var extra int64
+			data, extra = fs.strike(data, rec.Inject)
+			rec.Arrive += extra
+		}
+	}
 	s.mu.Lock()
 	if off < 0 || off+len(data) > len(s.buf) {
 		s.mu.Unlock()
@@ -90,6 +102,7 @@ func (a *Adapter) CreateSegment(id uint32, size int) *Segment {
 		panic(fmt.Sprintf("simnet: duplicate segment %d on node %d/%s", id, a.node.id, a.network))
 	}
 	s := NewSegment(id, size)
+	s.owner = a
 	a.segments[id] = s
 	return s
 }

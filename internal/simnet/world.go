@@ -8,6 +8,7 @@ package simnet
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -136,6 +137,7 @@ type Adapter struct {
 	pktsIn     atomic.Int64
 	corrupt    atomic.Bool
 	corruptMin atomic.Int64
+	faults     atomic.Pointer[faultState]
 }
 
 // Node returns the adapter's host node.
@@ -173,9 +175,15 @@ func (a *Adapter) Peer(dstNode, idx int) (*Adapter, error) {
 
 // Deliver pushes a packet onto the destination adapter's lane and updates
 // both adapters' traffic counters. The caller (a driver) has already
-// stamped the packet's virtual times.
+// stamped the packet's virtual times. Any armed single-shot fault and the
+// adapter's FaultPlan (if installed) strike here, on the way out.
 func (a *Adapter) Deliver(dst *Adapter, lane int, p Packet) {
 	a.injectFault(&p)
+	if fs := a.faults.Load(); fs != nil {
+		var extra int64
+		p.Data, extra = fs.strike(p.Data, p.Inject)
+		p.Arrive += extra
+	}
 	a.bytesOut.Add(int64(len(p.Data)))
 	a.pktsOut.Add(1)
 	dst.bytesIn.Add(int64(len(p.Data)))
@@ -188,14 +196,16 @@ func (a *Adapter) Stats() (bytesIn, bytesOut, pktsIn, pktsOut int64) {
 	return a.bytesIn.Load(), a.bytesOut.Load(), a.pktsIn.Load(), a.pktsOut.Load()
 }
 
-// CorruptNext arms a single-shot fault: the next packet delivered THROUGH
-// this adapter (outgoing) has one payload byte flipped. Reliability is a
+// CorruptNext arms a single-shot fault: the next transfer carried by this
+// adapter — a packet delivered through it, or a remote write landing in a
+// segment it exports — has one payload byte flipped. Reliability is a
 // property of the simulated interconnects, but the layers above carry
 // integrity checks (the forwarding layer's packet checksums); fault
-// injection exists to prove they fire.
+// injection exists to prove they fire. For a continuous, probabilistic
+// fault process use SetFaults.
 func (a *Adapter) CorruptNext() { a.CorruptNextMin(1) }
 
-// CorruptNextMin arms the fault for the next delivered packet of at least
+// CorruptNextMin arms the fault for the next carried transfer of at least
 // min bytes (so a test can target payloads rather than tiny headers).
 func (a *Adapter) CorruptNextMin(min int) {
 	a.corruptMin.Store(int64(min))
@@ -204,13 +214,38 @@ func (a *Adapter) CorruptNextMin(min int) {
 
 // injectFault applies (and disarms) a pending fault to p's payload.
 func (a *Adapter) injectFault(p *Packet) {
-	if len(p.Data) == 0 || int64(len(p.Data)) < a.corruptMin.Load() {
-		return
+	p.Data = a.corruptOnce(p.Data)
+}
+
+// corruptOnce consumes an armed single-shot fault against data, returning
+// the flipped copy (or data untouched when disarmed or below the floor).
+func (a *Adapter) corruptOnce(data []byte) []byte {
+	if len(data) == 0 || int64(len(data)) < a.corruptMin.Load() {
+		return data
 	}
 	if !a.corrupt.CompareAndSwap(true, false) {
-		return
+		return data
 	}
-	cp := append([]byte(nil), p.Data...)
+	cp := append([]byte(nil), data...)
 	cp[len(cp)/2] ^= 0xFF
-	p.Data = cp
+	return cp
+}
+
+// Adapters lists every adapter of every node, in rank then network order —
+// the hook bench worlds use to install one FaultPlan fabric-wide.
+func (w *World) Adapters() []*Adapter {
+	var out []*Adapter
+	for _, n := range w.nodes {
+		n.mu.Lock()
+		names := make([]string, 0, len(n.adapters))
+		for name := range n.adapters {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			out = append(out, n.adapters[name]...)
+		}
+		n.mu.Unlock()
+	}
+	return out
 }
