@@ -1,0 +1,144 @@
+// Command madvet is the Madeleine invariant checker: a multichecker of
+// the six analyzers in internal/analysis/madvet, enforcing the
+// pack/lease/virtual-time contracts the type system cannot.
+//
+// Standalone (the usual way):
+//
+//	go run ./cmd/madvet ./...
+//	go run ./cmd/madvet -json ./internal/core
+//
+// As a vet tool (integrates with go vet's per-package caching):
+//
+//	go vet -vettool=$(which madvet) ./...
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 usage or load error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"madeleine2/internal/analysis"
+	"madeleine2/internal/analysis/madvet"
+)
+
+func main() {
+	// go vet's vettool protocol probes with -V=full and then invokes the
+	// tool with a single *.cfg argument. Handle both before flag parsing
+	// so our own flags never collide with vet's.
+	if len(os.Args) == 2 {
+		if strings.HasPrefix(os.Args[1], "-V") {
+			fmt.Printf("%s version madvet-1.0\n", filepath.Base(os.Args[0]))
+			return
+		}
+		if os.Args[1] == "-flags" {
+			// The go command asks which flags the tool supports; madvet
+			// takes none in vettool mode.
+			fmt.Println("[]")
+			return
+		}
+		if strings.HasSuffix(os.Args[1], ".cfg") {
+			os.Exit(runUnitchecker(os.Args[1]))
+		}
+	}
+	os.Exit(runStandalone())
+}
+
+func runStandalone() int {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: madvet [-json] [packages]\n\nAnalyzers:\n")
+		for _, a := range madvet.Analyzers {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", a.Name, strings.ReplaceAll(a.Doc, "\n", "\n                 "))
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range madvet.Analyzers {
+			fmt.Println(a.Name)
+		}
+		return 0
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	modPath, modDir, err := findModule()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "madvet:", err)
+		return 2
+	}
+	loader := analysis.NewLoader(modPath, modDir)
+	paths, err := loader.ExpandPatterns(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "madvet:", err)
+		return 2
+	}
+	pkgs, err := loader.Load(paths...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "madvet:", err)
+		return 2
+	}
+	diags, err := analysis.Run(pkgs, madvet.Analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "madvet:", err)
+		return 2
+	}
+
+	if *jsonOut {
+		type jsonDiag struct {
+			Pos      string `json:"posn"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{Pos: d.Position(loader.Fset).String(), Analyzer: d.Category, Message: d.Message})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		_ = enc.Encode(out)
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", d.Position(loader.Fset), d.Category, d.Message)
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// findModule walks up from the working directory to the enclosing go.mod.
+func findModule() (path, dir string, err error) {
+	dir, err = os.Getwd()
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return strings.TrimSpace(rest), dir, nil
+				}
+			}
+			return "", "", fmt.Errorf("%s/go.mod: no module line", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"madeleine2/internal/analysis"
+	"madeleine2/internal/analysis/madvet"
+)
+
+// vetConfig mirrors the JSON configuration file the go command hands a
+// -vettool for each package unit (see cmd/go/internal/work and
+// golang.org/x/tools/go/analysis/unitchecker). Fields we do not use are
+// still listed so the decode is strict about nothing.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnitchecker analyzes one package unit described by a .cfg file,
+// resolving imports through the compiler export data the go command
+// already built. Returns the process exit code.
+func runUnitchecker(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "madvet:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "madvet: parsing %s: %v\n", cfgFile, err)
+		return 2
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return writeVetx(cfg, 0)
+			}
+			fmt.Fprintln(os.Stderr, "madvet:", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+
+	compilerImp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if mapped, ok := cfg.ImportMap[importPath]; ok {
+			importPath = mapped
+		}
+		return compilerImp.Import(importPath)
+	})
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	tc := &types.Config{Importer: imp, FakeImportC: true, Sizes: types.SizesFor("gc", "amd64")}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return writeVetx(cfg, 0)
+		}
+		fmt.Fprintln(os.Stderr, "madvet:", err)
+		return 2
+	}
+
+	// Test files are typechecked as part of the unit but not analyzed:
+	// like the standalone loader, madvet checks library code only (tests
+	// deliberately discard errors and leak in teardown shapes).
+	var libFiles []*ast.File
+	for _, f := range files {
+		if name := fset.Position(f.Pos()).Filename; !strings.HasSuffix(name, "_test.go") {
+			libFiles = append(libFiles, f)
+		}
+	}
+
+	code := 0
+	if !cfg.VetxOnly {
+		apkg := &analysis.Package{
+			Path:  cfg.ImportPath,
+			Dir:   cfg.Dir,
+			Fset:  fset,
+			Files: libFiles,
+			Types: pkg,
+			Info:  info,
+		}
+		diags, err := analysis.Run([]*analysis.Package{apkg}, madvet.Analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "madvet:", err)
+			return 2
+		}
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Category, d.Message)
+		}
+		if len(diags) > 0 {
+			code = 1
+		}
+	}
+	return writeVetx(cfg, code)
+}
+
+// writeVetx writes the (empty: madvet exports no facts) vetx output the
+// go command caches for downstream units, then passes the code through.
+func writeVetx(cfg vetConfig, code int) int {
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "madvet:", err)
+			return 2
+		}
+	}
+	return code
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,337 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string // import path ("madeleine2/internal/core")
+	Dir   string
+	Fset  *token.FileSet // the loader's shared file set
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader type-checks packages from source without invoking the go tool,
+// so it works identically on the module proper and on GOPATH-style
+// analyzer fixtures (testdata/src/...). Import paths resolve in order
+// against: the module itself, the optional fixture GOPATH, GOROOT/src,
+// and GOROOT/src/vendor (the standard library's vendored deps).
+//
+// Dependencies are checked with IgnoreFuncBodies, so loading a package
+// costs roughly one full typecheck plus the exported-declaration surface
+// of its transitive imports. A Loader memoizes across Load calls and is
+// not safe for concurrent use.
+type Loader struct {
+	ModulePath string // import path of the module ("" = none)
+	ModuleDir  string // directory holding the module root
+	GOPATH     string // optional fixture root holding src/<path> packages
+
+	Fset *token.FileSet
+
+	ctxt     build.Context
+	pkgs     map[string]*loadEntry
+	checking map[string]bool // cycle detection
+}
+
+type loadEntry struct {
+	pkg *types.Package
+	err error
+}
+
+// NewLoader returns a loader rooted at the module. The build context is
+// the host's with cgo disabled, so packages like net resolve to their
+// pure-Go variants and everything type-checks from source.
+func NewLoader(modulePath, moduleDir string) *Loader {
+	ctxt := build.Default
+	ctxt.CgoEnabled = false
+	return &Loader{
+		ModulePath: modulePath,
+		ModuleDir:  moduleDir,
+		Fset:       token.NewFileSet(),
+		ctxt:       ctxt,
+		pkgs:       make(map[string]*loadEntry),
+		checking:   make(map[string]bool),
+	}
+}
+
+// Load type-checks each import path with full function bodies and fresh
+// type information, ready for analysis. Any parse or type error aborts
+// the load: analyzers only ever see packages that compile.
+func (l *Loader) Load(paths ...string) ([]*Package, error) {
+	out := make([]*Package, 0, len(paths))
+	for _, path := range paths {
+		p, err := l.loadFull(path)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// loadFull parses and type-checks one target package with bodies.
+func (l *Loader) loadFull(path string) (*Package, error) {
+	dir, err := l.resolve(path, l.ModuleDir)
+	if err != nil {
+		return nil, err
+	}
+	files, err := l.parseDir(path, dir, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: (*depImporter)(l),
+		Sizes:    types.SizesFor("gc", l.goarch()),
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if firstErr != nil {
+		return nil, fmt.Errorf("loading %s: %w", path, firstErr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("loading %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+func (l *Loader) goarch() string {
+	if l.ctxt.GOARCH != "" {
+		return l.ctxt.GOARCH
+	}
+	return runtime.GOARCH
+}
+
+// depImporter adapts the loader to types.Importer for dependency imports
+// (exported declarations only).
+type depImporter Loader
+
+func (d *depImporter) Import(path string) (*types.Package, error) {
+	return (*Loader)(d).dep(path)
+}
+
+// dep returns the (memoized) declaration-only package for an import path.
+func (l *Loader) dep(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if e, ok := l.pkgs[path]; ok {
+		return e.pkg, e.err
+	}
+	if l.checking[path] {
+		return nil, fmt.Errorf("import cycle through %q", path)
+	}
+	l.checking[path] = true
+	pkg, err := l.checkDep(path)
+	delete(l.checking, path)
+	l.pkgs[path] = &loadEntry{pkg: pkg, err: err}
+	if err != nil {
+		return nil, err
+	}
+	return pkg, nil
+}
+
+func (l *Loader) checkDep(path string) (*types.Package, error) {
+	dir, err := l.resolve(path, l.ModuleDir)
+	if err != nil {
+		return nil, err
+	}
+	files, err := l.parseDir(path, dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer:         (*depImporter)(l),
+		Sizes:            types.SizesFor("gc", l.goarch()),
+		IgnoreFuncBodies: true,
+		FakeImportC:      true,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	pkg, err := conf.Check(path, l.Fset, files, nil)
+	if firstErr != nil {
+		return nil, fmt.Errorf("dependency %s: %w", path, firstErr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("dependency %s: %w", path, err)
+	}
+	return pkg, nil
+}
+
+// parseDir lists the directory's buildable non-test files under the build
+// context (tags, GOOS/GOARCH) and parses them.
+func (l *Loader) parseDir(path, dir string, mode parser.Mode) ([]*ast.File, error) {
+	bp, err := l.ctxt.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("package %s in %s: %w", path, dir, err)
+	}
+	names := append([]string(nil), bp.GoFiles...)
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, mode)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// resolve maps an import path to its source directory.
+func (l *Loader) resolve(path, srcDir string) (string, error) {
+	if l.ModulePath != "" {
+		if path == l.ModulePath {
+			return l.ModuleDir, nil
+		}
+		if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+			return filepath.Join(l.ModuleDir, filepath.FromSlash(rest)), nil
+		}
+	}
+	if l.GOPATH != "" {
+		dir := filepath.Join(l.GOPATH, "src", filepath.FromSlash(path))
+		if isDir(dir) {
+			return dir, nil
+		}
+	}
+	goroot := l.ctxt.GOROOT
+	if goroot == "" {
+		goroot = runtime.GOROOT()
+	}
+	if dir := filepath.Join(goroot, "src", filepath.FromSlash(path)); isDir(dir) {
+		return dir, nil
+	}
+	// The standard library's own vendored dependencies
+	// (golang.org/x/net/... and friends).
+	if dir := filepath.Join(goroot, "src", "vendor", filepath.FromSlash(path)); isDir(dir) {
+		return dir, nil
+	}
+	return "", fmt.Errorf("cannot resolve import %q", path)
+}
+
+func isDir(dir string) bool {
+	st, err := os.Stat(dir)
+	return err == nil && st.IsDir()
+}
+
+// ExpandPatterns turns command-line package patterns into import paths.
+// Supported: "./..." (every package under the module), "./x" and "./x/..."
+// relative directories, plain import paths, and "p/..." wildcards over the
+// module tree. testdata, hidden, and underscore directories are skipped,
+// as go tooling does.
+func (l *Loader) ExpandPatterns(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(path string) {
+		if !seen[path] {
+			seen[path] = true
+			out = append(out, path)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			paths, err := l.walkModule("")
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range paths {
+				add(p)
+			}
+		case strings.HasSuffix(pat, "/..."):
+			base := strings.TrimSuffix(pat, "/...")
+			rel, err := l.toImportPath(base)
+			if err != nil {
+				return nil, err
+			}
+			sub := strings.TrimPrefix(strings.TrimPrefix(rel, l.ModulePath), "/")
+			paths, err := l.walkModule(sub)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range paths {
+				add(p)
+			}
+		default:
+			path, err := l.toImportPath(pat)
+			if err != nil {
+				return nil, err
+			}
+			add(path)
+		}
+	}
+	return out, nil
+}
+
+// toImportPath maps "./x" (or ".") relative to the module root, and passes
+// absolute import paths through.
+func (l *Loader) toImportPath(pat string) (string, error) {
+	if pat == "." || pat == "./" {
+		return l.ModulePath, nil
+	}
+	if rest, ok := strings.CutPrefix(pat, "./"); ok {
+		return l.ModulePath + "/" + strings.Trim(rest, "/"), nil
+	}
+	return pat, nil
+}
+
+// walkModule lists every buildable package directory under sub ("" = whole
+// module) as import paths.
+func (l *Loader) walkModule(sub string) ([]string, error) {
+	root := filepath.Join(l.ModuleDir, filepath.FromSlash(sub))
+	var out []string
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if bp, err := l.ctxt.ImportDir(p, 0); err == nil && len(bp.GoFiles) > 0 {
+			rel, err := filepath.Rel(l.ModuleDir, p)
+			if err != nil {
+				return err
+			}
+			if rel == "." {
+				out = append(out, l.ModulePath)
+			} else {
+				out = append(out, l.ModulePath+"/"+filepath.ToSlash(rel))
+			}
+		}
+		return nil
+	})
+	return out, err
+}

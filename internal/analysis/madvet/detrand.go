@@ -1,0 +1,93 @@
+package madvet
+
+import (
+	"go/ast"
+	"go/types"
+
+	"madeleine2/internal/analysis"
+)
+
+// DetRand keeps randomness seeded and deterministic: simnet fault plans
+// must be byte-identical across runs with the same seed, so library and
+// tool code may only draw from an explicit *rand.Rand built over an
+// explicit seed. The global math/rand functions share a process-wide
+// source (seeded from runtime entropy since Go 1.20), and a time-seeded
+// source differs every run — both would make fault injections
+// unreproducible.
+var DetRand = &analysis.Analyzer{
+	Name: "detrand",
+	Doc: "forbid the global math/rand source and time-seeded sources outside tests:\n" +
+		"simnet fault plans must stay seeded-deterministic",
+	Run: runDetRand,
+}
+
+// detrandAllowed are the math/rand package-level functions that do not
+// draw from the global source.
+var detrandAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runDetRand(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := analysis.CalleeObject(info, call)
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			pkg := obj.Pkg().Path()
+			if pkg != "math/rand" && pkg != "math/rand/v2" {
+				return true
+			}
+			fn, ok := obj.(*types.Func)
+			if !ok {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				// Method on an explicit *rand.Rand / source: check only
+				// that a seeding call is not wall-clock derived.
+				return true
+			}
+			switch {
+			case obj.Name() == "NewSource" || obj.Name() == "New":
+				if argUsesWallClock(info, call) {
+					pass.Reportf(call.Pos(), "rand.%s seeded from the wall clock: fault plans must be reproducible from an explicit seed", obj.Name())
+				}
+			case !detrandAllowed[obj.Name()]:
+				pass.Reportf(call.Pos(), "rand.%s draws from the global source: use a per-plan seeded *rand.Rand so runs are byte-identical per seed", obj.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// argUsesWallClock reports a time.Now()/UnixNano() anywhere in the call's
+// arguments.
+func argUsesWallClock(info *types.Info, call *ast.CallExpr) bool {
+	found := false
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			inner, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := analysis.CalleeObject(info, inner)
+			if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "time" && obj.Name() == "Now" {
+				found = true
+				return false
+			}
+			return true
+		})
+	}
+	return found
+}

@@ -1,0 +1,238 @@
+package madvet
+
+import (
+	"go/ast"
+	"go/types"
+
+	"madeleine2/internal/analysis"
+)
+
+// LeaseRelease enforces the PR 1 lease discipline outside the Connection
+// fast path: any acquired exclusive token must be handed back on every
+// return path, panic paths included (which in practice means a deferred
+// release). Two shapes are recognized:
+//
+//   - `x.acquire(a)` where x's type also has a release method (the core
+//     direction lease): must reach `x.release(...)` on all paths;
+//   - `v, ok := x.lease.Pop()` (the queue-token lease of the forwarding
+//     layer's stop-and-wait links): the ok-branch must reach
+//     `x.lease.Push(...)`/`PushIfOpen(...)` on all paths; the !ok branch
+//     never held the token (the queue was closed).
+//
+// Functions that move ownership out (the token holder escapes by being
+// returned or stored) are exempt — that is the BeginPacking pattern,
+// where EndPacking releases in another scope.
+var LeaseRelease = &analysis.Analyzer{
+	Name: "leaserelease",
+	Doc: "check that lease/token acquisition is paired with a release on every\n" +
+		"return path, including panic paths via defer",
+	Run: runLeaseRelease,
+}
+
+func runLeaseRelease(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	funcBodies(pass.Files, func(name string, body *ast.BlockStmt) {
+		g := analysis.BuildCFG(body, analysis.TerminatingClassifier(info))
+		for _, n := range g.Nodes {
+			if site, ok := acquireSite(info, n); ok {
+				if objEscapes(info, body, site.root) {
+					continue
+				}
+				runLeaseFlow(pass, g, n, site)
+			}
+		}
+	})
+	return nil
+}
+
+// leaseSite describes one acquisition: the path expression that names the
+// token ("cs.send", "lt.lease"), its root object for escape analysis, the
+// release method names, and the optional ok-guard.
+type leaseSite struct {
+	path     string
+	root     types.Object
+	releases []string
+	guard    guardSpec
+	what     string
+}
+
+// acquireSite recognizes an acquisition statement.
+func acquireSite(info *types.Info, n *analysis.Node) (leaseSite, bool) {
+	switch s := n.Stmt.(type) {
+	case *ast.ExprStmt:
+		// x.acquire(...) with a matching release on the same type.
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "acquire" {
+				if selection, ok := info.Selections[sel]; ok && selection.Kind() == types.MethodVal &&
+					hasMethod(selection.Recv(), "release") {
+					path, root := exprPath(info, sel.X)
+					if path == "" {
+						return leaseSite{}, false
+					}
+					return leaseSite{path: path, root: root, releases: []string{"release"}, what: "lease acquired by " + path + ".acquire"}, true
+				}
+			}
+		}
+	case *ast.AssignStmt:
+		// v, ok := x.lease.Pop()
+		if len(s.Rhs) != 1 {
+			return leaseSite{}, false
+		}
+		call, ok := s.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return leaseSite{}, false
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Pop" {
+			return leaseSite{}, false
+		}
+		holder, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+		if !ok || holder.Sel.Name != "lease" {
+			return leaseSite{}, false
+		}
+		path, root := exprPath(info, sel.X)
+		if path == "" {
+			return leaseSite{}, false
+		}
+		var guard guardSpec
+		if len(s.Lhs) == 2 {
+			guard = guardSpec{obj: defObj(info, s.Lhs[1]), failMode: pairFree}
+		}
+		return leaseSite{
+			path:     path,
+			root:     root,
+			releases: []string{"Push", "PushIfOpen"},
+			guard:    guard,
+			what:     "link token popped from " + path,
+		}, true
+	}
+	return leaseSite{}, false
+}
+
+func runLeaseFlow(pass *analysis.Pass, g *analysis.Graph, acquire *analysis.Node, site leaseSite) {
+	info := pass.TypesInfo
+	pc := &pairCheck{
+		g:       g,
+		info:    info,
+		acquire: acquire,
+		guard:   site.guard,
+		classify: func(stmt ast.Stmt) pairEvent {
+			if d, ok := stmt.(*ast.DeferStmt); ok {
+				if stmtReleasesPath(info, d, site.path, site.releases) {
+					return pairEvent{kind: pairEvDeferRelease}
+				}
+				return pairEvent{kind: pairEvNone}
+			}
+			if stmtReleasesPath(info, stmt, site.path, site.releases) {
+				return pairEvent{kind: pairEvRelease}
+			}
+			return pairEvent{kind: pairEvNone}
+		},
+		leak: func(n *analysis.Node) {
+			pos := acquire.Stmt.Pos()
+			if n.Stmt != nil {
+				pos = n.Stmt.Pos()
+			}
+			pass.Reportf(pos, "%s is not released on this path (want %s.%s, on every return, or deferred)",
+				site.what, site.path, site.releases[0])
+		},
+	}
+	pc.run()
+}
+
+// stmtReleasesPath reports whether the statement (header-only for
+// compound statements, full subtree otherwise — including deferred
+// function literals) calls path.<release>(...).
+func stmtReleasesPath(info *types.Info, stmt ast.Stmt, path string, releases []string) bool {
+	found := false
+	scan := func(n ast.Node) {
+		if n == nil {
+			return
+		}
+		ast.Inspect(n, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			for _, r := range releases {
+				if sel.Sel.Name == r {
+					if p, _ := exprPath(info, sel.X); p == path {
+						found = true
+						return false
+					}
+				}
+			}
+			return true
+		})
+	}
+	switch s := stmt.(type) {
+	case *ast.IfStmt:
+		scan(s.Cond)
+	case *ast.ForStmt:
+		scan(s.Cond)
+	case *ast.RangeStmt:
+		scan(s.X)
+	case *ast.SwitchStmt:
+		scan(s.Init)
+		scan(s.Tag)
+	case *ast.TypeSwitchStmt:
+		scan(s.Init)
+		scan(s.Assign)
+	case *ast.SelectStmt, *ast.BlockStmt, *ast.LabeledStmt:
+	default:
+		scan(stmt)
+	}
+	return found
+}
+
+// hasMethod reports whether the (possibly pointer) receiver type has a
+// method with the given name.
+func hasMethod(t types.Type, name string) bool {
+	ms := types.NewMethodSet(types.NewPointer(derefType(t)))
+	for i := 0; i < ms.Len(); i++ {
+		if ms.At(i).Obj().Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+func derefType(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// exprPath renders a pure identifier/selector chain ("lt.lease") and its
+// root object; "" for anything more complex (calls, indexing), which the
+// analyzer then leaves alone.
+func exprPath(info *types.Info, e ast.Expr) (string, types.Object) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name, info.Uses[x]
+	case *ast.SelectorExpr:
+		p, root := exprPath(info, x.X)
+		if p == "" {
+			return "", nil
+		}
+		return p + "." + x.Sel.Name, root
+	}
+	return "", nil
+}
+
+// objEscapes reports whether the object is used outside selector chains
+// (returned, passed along, stored) — ownership leaves the function.
+func objEscapes(info *types.Info, body *ast.BlockStmt, obj types.Object) bool {
+	if obj == nil {
+		return true // receiver field or package-level: not a local token
+	}
+	return connEscapes(info, body, obj)
+}

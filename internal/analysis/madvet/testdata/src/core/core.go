@@ -1,0 +1,60 @@
+// Package core stubs the Madeleine core API surface for analyzer
+// fixtures: the madvet analyzers match methods structurally (package
+// named "core", method names, arities), so the fixtures type-check
+// against this stub without importing the real module.
+package core
+
+type SendMode int
+
+const (
+	SendCheaper SendMode = 0
+	SendSafer   SendMode = 1
+	SendLater   SendMode = 2
+)
+
+type RecvMode int
+
+const (
+	ReceiveCheaper RecvMode = 0
+	ReceiveExpress RecvMode = 1
+)
+
+// TM mirrors the transmission-module interface identity rules tmident
+// enforces.
+type TM interface {
+	Name() string
+	MTU() int
+}
+
+type Connection struct{}
+
+func (c *Connection) Pack(data []byte, sm SendMode, rm RecvMode) error  { return nil }
+func (c *Connection) Unpack(dst []byte, sm SendMode, rm RecvMode) error { return nil }
+func (c *Connection) EndPacking() error                                 { return nil }
+func (c *Connection) EndUnpacking() error                               { return nil }
+func (c *Connection) Remote() int                                       { return 0 }
+
+type Channel struct{}
+
+func (ch *Channel) BeginPacking(remote int) (*Connection, error) { return nil, nil }
+func (ch *Channel) BeginUnpacking() (*Connection, error)         { return nil, nil }
+func (ch *Channel) Announce() error                              { return nil }
+
+// obsTM is the sanctioned observer decorator: the one type allowed to
+// wrap a TM (tmident's chokepoint).
+type obsTM struct {
+	inner TM
+}
+
+func (o *obsTM) Name() string { return o.inner.Name() }
+func (o *obsTM) MTU() int     { return o.inner.MTU() }
+
+// instrumentTM keeps obsTM referenced.
+func instrumentTM(tm TM) TM {
+	if w, ok := tm.(*obsTM); ok {
+		return w
+	}
+	return &obsTM{inner: tm}
+}
+
+var _ = instrumentTM

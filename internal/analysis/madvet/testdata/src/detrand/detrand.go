@@ -1,0 +1,21 @@
+// Fixtures for the detrand analyzer: only explicitly seeded randomness.
+package detrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+func bad() {
+	_ = rand.Intn(10)                       // want `rand.Intn draws from the global source`
+	_ = rand.Float64()                      // want `rand.Float64 draws from the global source`
+	rand.Shuffle(3, func(i, j int) {})      // want `rand.Shuffle draws from the global source`
+	src := rand.NewSource(time.Now().UnixNano()) // want `rand.NewSource seeded from the wall clock`
+	_ = rand.New(src)
+}
+
+// good draws from an explicit per-plan seeded source.
+func good(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}

@@ -1,0 +1,9 @@
+// Package vclock is the one internal package allowed to read the wall
+// clock: it defines what time means for everyone else.
+package vclock
+
+import "time"
+
+func Wall() int64 {
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,20 @@
+// Fixtures for the virtualtime analyzer: internal/ packages must not
+// touch the wall clock.
+package virtualtime
+
+import "time"
+
+func bad(done chan struct{}) {
+	_ = time.Now()      // want `time.Now in library package`
+	time.Sleep(1)       // want `time.Sleep in library package`
+	<-time.After(1)     // want `time.After in library package`
+	t := time.NewTimer(1) // want `time.NewTimer in library package`
+	t.Stop()
+	<-done
+}
+
+// good: the time package's types and pure arithmetic stay usable.
+func good() time.Duration {
+	const tick = 5 * time.Millisecond
+	return tick * 3
+}

@@ -1,0 +1,72 @@
+// Fixtures for the leaserelease analyzer: acquire/release pairing for
+// direction leases and queue link tokens.
+package leaserelease
+
+import "errors"
+
+var errClosed = errors.New("closed")
+
+// lease mimics the core direction lease: acquire must reach release.
+type lease struct{ held bool }
+
+func (l *lease) acquire(at int) { l.held = true }
+func (l *lease) release(at int) { l.held = false }
+
+// queue mimics simnet.Queue: Pop hands out the link token, Push returns it.
+type queue struct{ v []int }
+
+func (q *queue) Pop() (int, bool)  { return 0, len(q.v) > 0 }
+func (q *queue) Push(v int)        { q.v = append(q.v, v) }
+func (q *queue) PushIfOpen(v int)  { q.v = append(q.v, v) }
+
+// link mimics a forwarding stop-and-wait link: the token lives in .lease.
+type link struct{ lease *queue }
+
+// goodAcquire releases on the only exit.
+func goodAcquire(l *lease, work func()) {
+	l.acquire(1)
+	work()
+	l.release(1)
+}
+
+// goodDeferred releases on every exit, panics included.
+func goodDeferred(l *lease, work func()) {
+	l.acquire(1)
+	defer l.release(1)
+	work()
+}
+
+// badAcquire leaks the lease through the early return.
+func badAcquire(l *lease, cond bool) error {
+	l.acquire(1)
+	if cond {
+		return errClosed // want `lease acquired by l.acquire is not released`
+	}
+	l.release(1)
+	return nil
+}
+
+// goodPop: the !ok branch never held the token; the deferred push covers
+// the rest.
+func goodPop(lt *link) error {
+	v, ok := lt.lease.Pop()
+	if !ok {
+		return errClosed
+	}
+	defer lt.lease.PushIfOpen(v)
+	return nil
+}
+
+// badPop reproduces the stop-and-wait token leak: an early return between
+// Pop and Push wedges the link forever.
+func badPop(lt *link, cond bool) error {
+	v, ok := lt.lease.Pop()
+	if !ok {
+		return errClosed
+	}
+	if cond {
+		return errClosed // want `link token popped from lt.lease is not released`
+	}
+	lt.lease.Push(v)
+	return nil
+}

@@ -1,0 +1,32 @@
+// Fixtures for the tmident analyzer: no TM wrapping or shadowing outside
+// the observer chokepoint.
+package tmident
+
+import "core"
+
+// registry holds TMs without being one: allowed.
+type registry struct {
+	tms []core.TM
+	def core.TM
+}
+
+func (r *registry) pick() core.TM { return r.def }
+
+// wrapper both holds a TM and implements the interface: a second
+// identity for the wrapped module.
+type wrapper struct { // want `type wrapper wraps core.TM`
+	inner core.TM
+}
+
+func (w *wrapper) Name() string { return w.inner.Name() }
+func (w *wrapper) MTU() int     { return w.inner.MTU() }
+
+// shadow is a defined type over the interface: values convert silently
+// but the name suggests a distinct module kind.
+type shadow core.TM // want `type shadow shadows core.TM`
+
+// tmAlias is a true alias: same type identity, allowed.
+type tmAlias = core.TM
+
+var _ tmAlias
+var _ shadow

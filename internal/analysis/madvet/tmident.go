@@ -1,0 +1,136 @@
+package madvet
+
+import (
+	"go/ast"
+	"go/types"
+
+	"madeleine2/internal/analysis"
+)
+
+// TMIdent preserves raw transmission-module identity. The core compares
+// TMs by interface identity (the Switch step's `m.tm != tm`, the
+// per-connection BMM maps, chanStats pre-registration), so a TM must
+// never be wrapped in a decorating type outside the one sanctioned
+// chokepoint: the observer decorator installed by the BMM constructor
+// (core.instrumentTM / obsTM), which is itself careful to stay idempotent
+// and to register under the raw TM's name. A second wrapper would give
+// the same module two identities and silently split its statistics,
+// buffer management, and Switch decisions.
+var TMIdent = &analysis.Analyzer{
+	Name: "tmident",
+	Doc: "forbid wrapping or shadowing core.TM outside the observer decorator\n" +
+		"chokepoint: the core compares transmission modules by interface identity",
+	Run: runTMIdent,
+}
+
+// tmChokepointTypes are the sanctioned decorator types.
+var tmChokepointTypes = map[string]bool{
+	"obsTM": true,
+}
+
+func runTMIdent(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				checkTMType(pass, info, ts)
+			}
+		}
+	}
+	return nil
+}
+
+func checkTMType(pass *analysis.Pass, info *types.Info, ts *ast.TypeSpec) {
+	if ts.Assign.IsValid() {
+		return // alias: same type identity, no shadow
+	}
+	obj, ok := info.Defs[ts.Name]
+	if !ok || obj == nil {
+		return
+	}
+	named, ok := obj.Type().(*types.Named)
+	if !ok {
+		return
+	}
+
+	// A defined type whose underlying is exactly the core TM interface
+	// shadows it: values convert silently, but the name suggests a second
+	// module kind.
+	if iface := coreTMInterface(named.Underlying()); iface != nil && isCoreTMExpr(info, ts.Type) {
+		pass.Reportf(ts.Pos(), "type %s shadows core.TM: use core.TM directly so module identity stays unambiguous", ts.Name.Name)
+		return
+	}
+
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	var tmField *types.Var
+	var tmIface *types.Interface
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if iface := coreTMInterfaceNamed(f.Type()); iface != nil {
+			tmField = f
+			tmIface = iface
+			break
+		}
+	}
+	if tmField == nil {
+		return
+	}
+	// Holding a TM is fine (registries, channels, specs); *being* a TM
+	// while holding one is a wrapper.
+	if !types.Implements(named, tmIface) && !types.Implements(types.NewPointer(named), tmIface) {
+		return
+	}
+	if obj.Pkg() != nil && obj.Pkg().Name() == "core" && tmChokepointTypes[ts.Name.Name] {
+		return // the observer decorator chokepoint
+	}
+	pass.Reportf(ts.Pos(), "type %s wraps core.TM: decorate only through the observer chokepoint (instrumentTM) so raw TM identity is preserved", ts.Name.Name)
+}
+
+// coreTMInterfaceNamed unwraps a named type "TM" from a package named
+// "core" to its interface.
+func coreTMInterfaceNamed(t types.Type) *types.Interface {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	o := named.Obj()
+	if o.Name() != "TM" || o.Pkg() == nil || o.Pkg().Name() != "core" {
+		return nil
+	}
+	iface, _ := named.Underlying().(*types.Interface)
+	return iface
+}
+
+// coreTMInterface accepts a bare interface type (for underlying checks).
+func coreTMInterface(t types.Type) *types.Interface {
+	iface, _ := t.(*types.Interface)
+	return iface
+}
+
+// isCoreTMExpr reports whether the type expression is literally a
+// reference to core's TM (e.g. `type mine core.TM` or, inside core,
+// `type mine TM`).
+func isCoreTMExpr(info *types.Info, e ast.Expr) bool {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return false
+	}
+	obj := info.Uses[id]
+	return obj != nil && obj.Name() == "TM" && obj.Pkg() != nil && obj.Pkg().Name() == "core"
+}

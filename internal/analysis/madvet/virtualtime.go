@@ -1,0 +1,60 @@
+package madvet
+
+import (
+	"go/ast"
+	"strings"
+
+	"madeleine2/internal/analysis"
+)
+
+// VirtualTime keeps the real clock out of the library: every duration in
+// internal/ packages is virtual time threaded through vclock actors, so
+// simulations are deterministic and a run's timeline is reproducible.
+// Touching the wall clock (time.Now, time.Sleep, tickers, timers) would
+// silently couple results to host scheduling. The vclock package itself
+// is the one place allowed to define what time means.
+var VirtualTime = &analysis.Analyzer{
+	Name: "virtualtime",
+	Doc: "forbid wall-clock time (time.Now, time.Sleep, time.NewTicker, time.After, ...)\n" +
+		"in internal/ library packages: virtual time must flow through vclock",
+	Run: runVirtualTime,
+}
+
+// wallClockFuncs are the banned package-level functions of package time.
+// Types (time.Duration) and pure formatting remain usable.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+	"Since":     true,
+	"Until":     true,
+}
+
+func runVirtualTime(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	if !pkgIsInternal(path) || strings.HasSuffix(path, "/vclock") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := analysis.CalleeObject(pass.TypesInfo, call)
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+				return true
+			}
+			if wallClockFuncs[obj.Name()] {
+				pass.Reportf(call.Pos(), "time.%s in library package %s: virtual time must flow through vclock (wall-clock use breaks simulation determinism)",
+					obj.Name(), path)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// Run applies every analyzer to every package and returns the combined
+// findings sorted by position. Analyzer errors (operational failures, not
+// findings) abort the run.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				report:    func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, err
+			}
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}
+
+// CalleeObject resolves the called function or method object of a call
+// expression, or nil (builtin, function value, conversion).
+func CalleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			return sel.Obj()
+		}
+		return info.Uses[fun.Sel] // package-qualified call
+	}
+	return nil
+}
+
+// IsPkgCall reports whether the call targets the package-level function
+// pkgPath.name (e.g. "os", "Exit").
+func IsPkgCall(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	obj := CalleeObject(info, call)
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	if _, isFunc := obj.(*types.Func); !isFunc {
+		return false
+	}
+	return obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// TerminatingClassifier returns the CFG's never-returns predicate: panic
+// is built in; this adds os.Exit, runtime.Goexit, log.Fatal*/Panic*, and
+// testing's Fatal/Fatalf/Skip variants (method calls whose receiver comes
+// from the testing package).
+func TerminatingClassifier(info *types.Info) Terminating {
+	return func(call *ast.CallExpr) bool {
+		obj := CalleeObject(info, call)
+		if obj == nil || obj.Pkg() == nil {
+			return false
+		}
+		switch obj.Pkg().Path() {
+		case "os":
+			return obj.Name() == "Exit"
+		case "runtime":
+			return obj.Name() == "Goexit"
+		case "log":
+			switch obj.Name() {
+			case "Fatal", "Fatalf", "Fatalln", "Panic", "Panicf", "Panicln":
+				return true
+			}
+		case "testing":
+			switch obj.Name() {
+			case "Fatal", "Fatalf", "FailNow", "Skip", "Skipf", "SkipNow":
+				return true
+			}
+		}
+		return false
+	}
+}

@@ -299,6 +299,9 @@ func (m *matcher) pull(a *vclock.Actor) (unexpected, error) {
 		for i := 0; i < segs; i++ {
 			k := int(binary.LittleEndian.Uint32(table[4*i:]))
 			if off+k > n {
+				// Malformed message: drop it whole, but hand the receive
+				// lease back (EndUnpacking always releases it).
+				_ = conn.EndUnpacking()
 				return unexpected{}, fmt.Errorf("mpi: segment table overflows the payload")
 			}
 			if err := conn.Unpack(data[off:off+k], core.SendCheaper, core.ReceiveCheaper); err != nil {
@@ -307,6 +310,7 @@ func (m *matcher) pull(a *vclock.Actor) (unexpected, error) {
 			off += k
 		}
 		if off != n {
+			_ = conn.EndUnpacking()
 			return unexpected{}, fmt.Errorf("mpi: segment table short of the payload")
 		}
 	case n > 0:

@@ -1,9 +1,6 @@
 package simnet
 
-import (
-	"math/rand"
-	"sync"
-)
+import "sync"
 
 // FaultPlan programs a continuous fault process on an adapter: every
 // eligible transfer the adapter injects into the fabric — packet
@@ -62,19 +59,25 @@ type FaultStats struct {
 	Delayed   int64 // transfers whose arrival was shifted
 }
 
-// faultState is an armed plan plus its random stream and counters.
+// faultState is an armed plan plus its mixed seed and counters. There is
+// no shared random stream: every transfer derives its own draws from the
+// seed and its observable coordinates (injection time, size, payload
+// probes), so the fates are independent of the order in which concurrent
+// sends reach strike and two worlds running the same plan over the same
+// traffic are byte-identical even when their goroutines interleave
+// differently.
 type faultState struct {
 	plan FaultPlan
+	seed uint64
 
 	mu        sync.Mutex
-	rng       *rand.Rand
 	corrupted int64
 	dropped   int64
 	delayed   int64
 }
 
 // SetFaults installs (or, with nil, removes) the adapter's fault plan.
-// Installing a plan resets the random stream and the fault counters.
+// Installing a plan resets the fault counters.
 func (a *Adapter) SetFaults(p *FaultPlan) {
 	if p == nil {
 		a.faults.Store(nil)
@@ -82,13 +85,13 @@ func (a *Adapter) SetFaults(p *FaultPlan) {
 	}
 	fs := &faultState{plan: *p}
 	// Mix the adapter's identity into the seed: a shared plan still gives
-	// every adapter its own deterministic stream.
+	// every adapter its own deterministic fault process.
 	seed := p.Seed
 	seed = seed*1000003 + int64(a.node.id)*31 + int64(a.index)
 	for _, c := range a.network {
 		seed = seed*131 + int64(c)
 	}
-	fs.rng = rand.New(rand.NewSource(seed))
+	fs.seed = mix64(uint64(seed))
 	a.faults.Store(fs)
 }
 
@@ -115,31 +118,83 @@ func (fs *faultState) strike(data []byte, inject int64) ([]byte, int64) {
 	if len(data) < min {
 		return data, 0
 	}
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	// Derive this transfer's private draw sequence from the mixed seed and
+	// the transfer's own coordinates — no shared stream, no lock, no order
+	// sensitivity. Identical transfers injected at the same virtual time
+	// share a fate, which is exactly the reproducibility the plan promises.
+	x := fs.seed
+	x = mix64(x ^ uint64(inject))
+	x = mix64(x ^ uint64(len(data)))
+	x = mix64(x ^ probe(data))
+	draw := func() uint64 {
+		x += 0x9e3779b97f4a7c15
+		return mix64(x)
+	}
+
 	var extra int64
+	delayed := false
 	if fs.plan.Delay > 0 || fs.plan.Jitter > 0 {
 		extra = fs.plan.Delay
 		if fs.plan.Jitter > 0 {
-			extra += fs.rng.Int63n(fs.plan.Jitter)
+			extra += int64(draw() % uint64(fs.plan.Jitter))
 		}
-		if extra > 0 {
-			fs.delayed++
-		}
+		delayed = extra > 0
 	}
 	burst := fs.plan.BurstEnd > fs.plan.BurstStart &&
 		inject >= fs.plan.BurstStart && inject < fs.plan.BurstEnd
-	switch {
-	case burst || (fs.plan.Drop > 0 && fs.rng.Float64() < fs.plan.Drop):
+	dropped := burst || (fs.plan.Drop > 0 && unit(draw()) < fs.plan.Drop)
+	corrupted := !dropped && fs.plan.Corrupt > 0 && unit(draw()) < fs.plan.Corrupt
+	flip := draw()
+
+	fs.mu.Lock()
+	if delayed {
+		fs.delayed++
+	}
+	if dropped {
 		fs.dropped++
-		return scramble(data), extra
-	case fs.plan.Corrupt > 0 && fs.rng.Float64() < fs.plan.Corrupt:
+	} else if corrupted {
 		fs.corrupted++
+	}
+	fs.mu.Unlock()
+
+	switch {
+	case dropped:
+		return scramble(data), extra
+	case corrupted:
 		cp := append([]byte(nil), data...)
-		cp[fs.rng.Intn(len(cp))] ^= 0xFF
+		cp[flip%uint64(len(cp))] ^= 0xFF
 		return cp, extra
 	}
 	return data, extra
+}
+
+// mix64 is the splitmix64 finalizer: a cheap bijective 64-bit mixer with
+// full avalanche, plenty for fault probabilities.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// unit maps a draw onto [0,1) with 53 bits of precision.
+func unit(x uint64) float64 {
+	return float64(x>>11) / (1 << 53)
+}
+
+// probe folds the head and tail bytes of the payload into one word, so
+// same-sized transfers injected at the same virtual time still draw
+// independent fates unless they are bytewise identical at the edges.
+func probe(data []byte) uint64 {
+	var h, t uint64
+	for i := 0; i < 8 && i < len(data); i++ {
+		h = h<<8 | uint64(data[i])
+	}
+	for i := len(data) - 8; i < len(data); i++ {
+		if i >= 0 {
+			t = t<<8 | uint64(data[i])
+		}
+	}
+	return mix64(h) ^ t
 }
 
 // scramble returns a copy of data deterministically garbaged end to end —

@@ -2,6 +2,7 @@ package simnet
 
 import (
 	"bytes"
+	"sync"
 	"testing"
 )
 
@@ -198,5 +199,47 @@ func TestCorruptNextStrikesSegmentWrites(t *testing.T) {
 	}
 	if diff != 1 {
 		t.Fatalf("single-shot segment fault flipped %d bytes, want 1", diff)
+	}
+}
+
+// TestFaultStrikeIsOrderIndependent pins the concurrency contract of the
+// fault process: a transfer's fate is a pure function of the plan seed
+// and the transfer's own coordinates, so the interleaving of concurrent
+// strikes through the same adapter cannot change any outcome. Two passes
+// over the same transfer set — one in order, one reversed and raced from
+// many goroutines — must produce identical bytes and delays.
+func TestFaultStrikeIsOrderIndependent(t *testing.T) {
+	src, _ := faultWorld(t)
+	src.SetFaults(&FaultPlan{Seed: 7, Corrupt: 0.4, Drop: 0.3, Jitter: 500, MinBytes: 1})
+	fs := src.faults.Load()
+
+	const n = 128
+	type fate struct {
+		data  []byte
+		extra int64
+	}
+	forward := make([]fate, n)
+	for i := 0; i < n; i++ {
+		d, extra := fs.strike(payload(96, byte(i)), int64(i)*50)
+		forward[i] = fate{d, extra}
+	}
+
+	// Same transfers, struck in reverse from concurrent goroutines.
+	backward := make([]fate, n)
+	var wg sync.WaitGroup
+	for i := n - 1; i >= 0; i-- {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			d, extra := fs.strike(payload(96, byte(i)), int64(i)*50)
+			backward[i] = fate{d, extra}
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(forward[i].data, backward[i].data) || forward[i].extra != backward[i].extra {
+			t.Fatalf("transfer %d: fate depends on strike order", i)
+		}
 	}
 }
