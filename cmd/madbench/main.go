@@ -5,7 +5,8 @@
 // Usage:
 //
 //	madbench                  # run everything, print tables
-//	madbench -fig 10          # one figure (4, 5, 6, 7, 10, 11, crossover)
+//	madbench -fig 10          # one figure (4, 5, 6, 7, 10, 11, crossover, stripe)
+//	madbench -fig stripe -rails 1,2,4   # multi-rail scaling at those rail counts
 //	madbench -ablations       # only the ablations
 //	madbench -markdown X.md   # also write the EXPERIMENTS.md content
 //	madbench -json out.json   # also write the results as JSON
@@ -17,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"madeleine2/internal/bench"
@@ -27,7 +29,9 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to reproduce: all, 4, 5, 6, 7, crossover, 10, 11")
+	fig := flag.String("fig", "all", "which figure to reproduce: all, 4, 5, 6, 7, crossover, 10, 11, stripe")
+	rails := flag.String("rails", "1,2,4", "rail counts for the stripe figure, comma-separated")
+	stripeSize := flag.Int("stripe-size", 0, "stripe chunk size in bytes for the stripe figure (0 = library default)")
 	ablations := flag.Bool("ablations", false, "run only the ablation studies")
 	markdown := flag.String("markdown", "", "write the results as Markdown to this file")
 	jsonOut := flag.String("json", "", "write the results as JSON to this file")
@@ -47,6 +51,14 @@ func main() {
 			var abl []bench.Result
 			abl, err = bench.AllAblations()
 			results = append(results, abl...)
+		}
+	case *fig == "stripe":
+		var counts []int
+		counts, err = parseRails(*rails)
+		if err == nil {
+			var r bench.Result
+			r, err = bench.StripeScaling("tcp", counts, *stripeSize)
+			results = []bench.Result{r}
 		}
 	default:
 		fns := map[string]func() (bench.Result, error){
@@ -107,6 +119,26 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// parseRails parses the -rails flag's comma-separated rail counts.
+func parseRails(s string) ([]int, error) {
+	var counts []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -rails value %q (want comma-separated counts >= 1)", part)
+		}
+		counts = append(counts, n)
+	}
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("-rails lists no rail counts")
+	}
+	return counts, nil
 }
 
 // tracedWorkload reruns a representative slice of the evaluation — a

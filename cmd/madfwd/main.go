@@ -9,6 +9,7 @@
 //	madfwd -control 45          # with the gateway bandwidth-control extension
 //	madfwd -mtu 512 -fault-corrupt 0.01 -fault-drop 0.01 -trace
 //	                            # hostile fabric: reliable mode + counters
+//	madfwd -rails 2             # stripe both segments across two adapters
 package main
 
 import (
@@ -40,7 +41,18 @@ func main() {
 	faultSeed := flag.Int64("fault-seed", 1, "seed of the deterministic fault stream")
 	faultMin := flag.Int("fault-min", 0, "fault eligibility floor in bytes (0 = simnet default, sparing control frames)")
 	retries := flag.Int("retries", 0, "reliable mode: max retransmits per packet (0 = default)")
+	rails := flag.Int("rails", 1, "adapters per segment: >1 stripes each segment across that many rails")
+	stripeSize := flag.Int("stripe-size", 0, "rail stripe chunk in bytes (0 = mtu/2, so forwarded packets actually stripe)")
 	flag.Parse()
+
+	if *rails < 1 {
+		fmt.Fprintln(os.Stderr, "madfwd: -rails must be at least 1")
+		os.Exit(2)
+	}
+	stripe := *stripeSize
+	if stripe == 0 {
+		stripe = *mtu / 2
+	}
 
 	var plan *simnet.FaultPlan
 	if *faultCorrupt > 0 || *faultDrop > 0 || *faultDelay > 0 || *faultJitter > 0 {
@@ -64,13 +76,7 @@ func main() {
 		s.ForceGatewayCopy = *forceCopy
 		s.MaxRetries = *retries
 	}
-	var vcs map[int]*fwd.VC
-	var err error
-	if hostile {
-		vcs, err = bench.LossyHetVC("madfwd", *mtu, plan, obs, mutate)
-	} else {
-		vcs, err = bench.HetVCObserved("madfwd", *mtu, obs, mutate)
-	}
+	vcs, err := bench.HetVCRails("madfwd", *mtu, *rails, stripe, plan, hostile, obs, mutate)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "madfwd: %v\n", err)
 		os.Exit(1)
@@ -88,6 +94,9 @@ func main() {
 	}
 	fmt.Printf("madfwd: %s through gateway node 2\n", dir)
 	fmt.Printf("  message %d bytes, packets of %d bytes\n", *msg, *mtu)
+	if *rails > 1 {
+		fmt.Printf("  %d rails per segment, stripe %d bytes\n", *rails, stripe)
+	}
 	if *control > 0 {
 		fmt.Printf("  gateway bandwidth control: %.0f MB/s incoming\n", *control)
 	}

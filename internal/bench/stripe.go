@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"fmt"
+
+	"madeleine2/internal/core"
+	"madeleine2/internal/vclock"
+)
+
+// StripeAnchorSize is the large-message size the rail-scaling anchors
+// quote.
+const StripeAnchorSize = 1 << 20
+
+// StripeScaling measures multi-rail striping over one driver: a
+// bandwidth sweep per rail count plus an express-latency sweep on the
+// widest channel. This figure is not in the paper — the paper only
+// promises the multi-adapter axis — so the anchors quote the simnet
+// model's own expectations: N rails approach N× the single-rail
+// bandwidth on large messages (each rail has its own transmit engine,
+// and the stripe amortizes the per-transfer fixed cost), while express
+// latency must not move at all (small blocks bypass striping onto the
+// lowest-latency rail, headerless).
+func StripeScaling(driver string, railCounts []int, stripe int) (Result, error) {
+	res := Result{
+		ID:    "stripe",
+		Title: fmt.Sprintf("Multi-rail striping over %s", driver),
+		Notes: fmt.Sprintf("stripe size %d; anchors are model expectations, not paper values", stripeOrDefault(stripe)),
+	}
+	oneWayAt := make(map[int]vclock.Time) // rail count -> one-way at StripeAnchorSize
+	latAt := make(map[int]vclock.Time)    // rail count -> one-way at 4 B
+	for _, nr := range railCounts {
+		if nr < 1 {
+			return res, fmt.Errorf("bench: stripe figure needs rail counts >= 1, got %d", nr)
+		}
+		_, chans, err := TwoNodesRails(driver, nr, stripe, nil)
+		if err != nil {
+			return res, err
+		}
+		bw, err := Sweep(fmt.Sprintf("%s x%d rails", driver, nr), chans, 0, 1, BwSizes)
+		if err != nil {
+			return res, err
+		}
+		res.Series = append(res.Series, bw)
+		if p, ok := bw.At(StripeAnchorSize); ok {
+			oneWayAt[nr] = p.OneWay
+		}
+		lat, err := PingPong(chans, 0, 1, 4, 5)
+		if err != nil {
+			return res, err
+		}
+		latAt[nr] = lat
+	}
+	base, haveBase := oneWayAt[1]
+	for _, nr := range railCounts {
+		if nr == 1 || !haveBase {
+			continue
+		}
+		res.Anchors = append(res.Anchors, Anchor{
+			Name:     fmt.Sprintf("%d-rail speedup at 1 MB", nr),
+			Paper:    float64(nr),
+			Measured: float64(base) / float64(oneWayAt[nr]),
+			Unit:     "x",
+		})
+		res.Anchors = append(res.Anchors, Anchor{
+			Name:     fmt.Sprintf("%d-rail express latency ratio", nr),
+			Paper:    1,
+			Measured: float64(latAt[nr]) / float64(latAt[1]),
+			Unit:     "x",
+		})
+	}
+	return res, nil
+}
+
+func stripeOrDefault(stripe int) int {
+	if stripe == 0 {
+		return core.DefaultStripeSize
+	}
+	return stripe
+}

@@ -41,6 +41,57 @@ func TwoNodesObserved(driver string, obs *core.Observer) (*core.Session, map[int
 	return sess, chans, nil
 }
 
+// TwoNodesRails builds a two-node session whose nodes carry `rails`
+// adapters on the driver's network, and opens a multi-rail channel
+// striping across all of them at the given stripe size (0 selects the
+// default). One rail is the degenerate baseline: same code path, no
+// fan-out — which is exactly what the rail-scaling figures compare
+// against.
+func TwoNodesRails(driver string, rails, stripe int, obs *core.Observer) (*core.Session, map[int]*core.Channel, error) {
+	net, err := networkOf(driver)
+	if err != nil {
+		return nil, nil, err
+	}
+	w := simnet.NewWorld(2)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < rails; j++ {
+			w.Node(i).AddAdapter(net)
+		}
+	}
+	sess := core.NewSession(w)
+	sess.SetObserver(obs)
+	specs := make([]core.RailSpec, rails)
+	for i := range specs {
+		specs[i] = core.RailSpec{Driver: driver, Adapter: i}
+	}
+	chans, err := sess.NewChannel(core.ChannelSpec{
+		Name:       fmt.Sprintf("bench-%s-x%d", driver, rails),
+		Rails:      specs,
+		StripeSize: stripe,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return sess, chans, nil
+}
+
+// networkOf maps a driver name to its fabric.
+func networkOf(driver string) (string, error) {
+	switch driver {
+	case "bip":
+		return bip.Network, nil
+	case "sisci", "sisci-dma":
+		return sisci.Network, nil
+	case "tcp":
+		return tcpnet.Network, nil
+	case "via":
+		return via.Network, nil
+	case "sbp":
+		return sbp.Network, nil
+	}
+	return "", fmt.Errorf("bench: unknown driver %q", driver)
+}
+
 // TwoClusters builds the §6.2 testbed: an SCI cluster {0,1,2} and a
 // Myrinet cluster {2,3,4} sharing gateway node 2, plus Fast Ethernet on
 // every node for the acknowledgment path.
@@ -103,6 +154,64 @@ func LossyHetVC(name string, mtu int, plan *simnet.FaultPlan, obs *core.Observer
 		Segments: []core.ChannelSpec{
 			{Driver: "sisci", Nodes: []int{0, 1, 2}},
 			{Driver: "bip", Nodes: []int{2, 3, 4}},
+		},
+	}
+	if mutate != nil {
+		mutate(&spec)
+	}
+	return fwd.New(sess, spec)
+}
+
+// TwoClustersRails is TwoClusters with `rails` adapters per fabric
+// membership, so the forwarding experiments can stripe each segment.
+func TwoClustersRails(rails int) *core.Session {
+	w := simnet.NewWorld(5)
+	for j := 0; j < rails; j++ {
+		for _, r := range []int{0, 1, 2} {
+			w.Node(r).AddAdapter(sisci.Network)
+		}
+		for _, r := range []int{2, 3, 4} {
+			w.Node(r).AddAdapter(bip.Network)
+		}
+		for r := 0; r < 5; r++ {
+			w.Node(r).AddAdapter(tcpnet.Network)
+		}
+	}
+	return core.NewSession(w)
+}
+
+// railSegment builds one segment spec: a plain single-adapter channel
+// for one rail, a striped multi-rail channel otherwise.
+func railSegment(driver string, nodes []int, rails, stripe int) core.ChannelSpec {
+	if rails <= 1 {
+		return core.ChannelSpec{Driver: driver, Nodes: nodes}
+	}
+	specs := make([]core.RailSpec, rails)
+	for i := range specs {
+		specs[i] = core.RailSpec{Driver: driver, Adapter: i}
+	}
+	return core.ChannelSpec{Nodes: nodes, Rails: specs, StripeSize: stripe}
+}
+
+// HetVCRails generalizes HetVCObserved/LossyHetVC: the SCI and Myrinet
+// segments each stripe across `rails` same-driver adapters (one rail is
+// the plain single-adapter channel), an optional FaultPlan arms every
+// adapter, and reliable mode is explicit.
+func HetVCRails(name string, mtu, rails, stripe int, plan *simnet.FaultPlan, reliable bool, obs *core.Observer, mutate func(*fwd.Spec)) (map[int]*fwd.VC, error) {
+	sess := TwoClustersRails(rails)
+	sess.SetObserver(obs)
+	if plan != nil {
+		for _, a := range sess.World().Adapters() {
+			a.SetFaults(plan)
+		}
+	}
+	spec := fwd.Spec{
+		Name:     name,
+		MTU:      mtu,
+		Reliable: reliable,
+		Segments: []core.ChannelSpec{
+			railSegment("sisci", []int{0, 1, 2}, rails, stripe),
+			railSegment("bip", []int{2, 3, 4}, rails, stripe),
 		},
 	}
 	if mutate != nil {

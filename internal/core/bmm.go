@@ -64,12 +64,18 @@ func (b *eagerDyn) Pack(a *vclock.Actor, data []byte, sm SendMode, rm RecvMode) 
 }
 
 func (b *eagerDyn) Commit(a *vclock.Actor) error {
-	for _, p := range b.pending {
+	// Trim as we send: a mid-loop failure aborts the message, and the
+	// policy instance outlives it on the connection — a block left in
+	// pending after its SendBuffer succeeded would go out a second time
+	// on the next flush.
+	for len(b.pending) > 0 {
+		p := b.pending[0]
+		b.pending[0] = pendingBlock{}
+		b.pending = b.pending[1:]
 		if err := b.tm.SendBuffer(a, b.cs, p.data); err != nil {
 			return err
 		}
 	}
-	b.pending = b.pending[:0]
 	return nil
 }
 
@@ -82,13 +88,18 @@ func (b *eagerDyn) Unpack(a *vclock.Actor, dst []byte, rm RecvMode) error {
 }
 
 func (b *eagerDyn) Checkout(a *vclock.Actor) error {
-	for _, d := range b.dsts {
+	// Same trim-as-extracted shape as Commit: an already-filled
+	// destination must not be filled again from the stream after a
+	// mid-loop failure.
+	for len(b.dsts) > 0 {
+		d := b.dsts[0]
+		b.dsts[0] = nil
+		b.dsts = b.dsts[1:]
 		if err := b.tm.ReceiveBuffer(a, b.cs, d); err != nil {
 			return err
 		}
 		a.Advance(model.MadUnpackCost)
 	}
-	b.dsts = b.dsts[:0]
 	return nil
 }
 
@@ -182,6 +193,16 @@ func newStatCopy(tm TM, cs *ConnState) *statCopy {
 func (b *statCopy) Name() string { return "static-copy" }
 
 func (b *statCopy) Pack(a *vclock.Actor, data []byte, sm SendMode, rm RecvMode) error {
+	if len(data) == 0 {
+		// An empty block must not lease a static buffer it would never
+		// fill: the buffer (a flow-control credit, a ring slot) would sit
+		// in b.cur until unrelated traffic flushes it — or forever, if
+		// the message errors out. Only the EXPRESS flush semantics apply.
+		if rm == ReceiveExpress {
+			return b.Commit(a)
+		}
+		return nil
+	}
 	rest := data
 	for {
 		if b.cur == nil {

@@ -111,9 +111,14 @@ type viaConn struct {
 func (p *viaPMM) PreConnect(cs *ConnState) error {
 	st := &viaConn{credits: viaShortCredits}
 	l, r := cs.Local(), cs.Remote()
-	st.short = p.nic.CreateVI(p.viID(l, r, viShort), r, 0)
-	st.large = p.nic.CreateVI(p.viID(l, r, viLarge), r, 0)
-	st.ctrl = p.nic.CreateVI(p.viID(l, r, viCtrl), r, 0)
+	// Channels bind the same adapter index on every member node, so the
+	// peer's mirror endpoint lives on the peer's same-index adapter (not
+	// necessarily adapter 0 — multi-rail channels open one VI triple per
+	// rail adapter).
+	idx := p.nic.Index()
+	st.short = p.nic.CreateVI(p.viID(l, r, viShort), r, idx)
+	st.large = p.nic.CreateVI(p.viID(l, r, viLarge), r, idx)
+	st.ctrl = p.nic.CreateVI(p.viID(l, r, viCtrl), r, idx)
 	// Registration of the long-lived rings happens at configuration time,
 	// so its cost is not charged to any message actor.
 	setup := vclock.NewActor(fmt.Sprintf("via-setup-%d-%d", l, r))

@@ -50,20 +50,41 @@ func (s *Session) Observer() *Observer {
 }
 
 // ChannelSpec describes a channel to create: a closed world of
-// communication bound to one network interface and one adapter (§2.1).
+// communication bound to one network interface and one adapter (§2.1) —
+// or, with Rails, to several adapters at once (the paper's multi-adapter
+// support): large blocks are then striped across the rails and small or
+// EXPRESS blocks take the lowest-latency rail.
 type ChannelSpec struct {
 	// Name identifies the channel session-wide.
 	Name string
 	// Driver selects the protocol module: "bip", "sisci", "tcp", "via",
 	// "sbp". The special driver "sisci-dma" is the SISCI PMM with its DMA
-	// transmission module enabled (off by default, §5.2.1).
+	// transmission module enabled (off by default, §5.2.1). Ignored when
+	// Rails is non-empty.
 	Driver string
 	// Adapter is the per-node adapter index on the driver's network.
+	// Ignored when Rails is non-empty.
 	Adapter int
 	// Nodes lists the member ranks; nil means every node that has an
 	// adapter on the driver's network (a cluster-of-clusters session has
-	// per-network subsets).
+	// per-network subsets). With Rails, nil means every node that has
+	// every rail's adapter.
 	Nodes []int
+	// Rails, when non-empty, opens the channel over the listed adapters
+	// (same or mixed protocol modules) instead of Driver/Adapter. Blocks
+	// larger than StripeSize are striped across all rails concurrently;
+	// the rest bypass onto the lowest-latency rail.
+	Rails []RailSpec
+	// StripeSize is the striping chunk granularity and the express-bypass
+	// cutoff of a multi-rail channel; zero selects DefaultStripeSize.
+	StripeSize int
+}
+
+// RailSpec names one rail of a multi-rail channel: a protocol module and
+// the per-node adapter index on that module's network.
+type RailSpec struct {
+	Driver  string
+	Adapter int
 }
 
 // NewChannel collectively creates a channel on every member process and
@@ -71,16 +92,27 @@ type ChannelSpec struct {
 // nil). Connections between every member pair are established eagerly,
 // like the real library's session configuration.
 func (s *Session) NewChannel(spec ChannelSpec) (map[int]*Channel, error) {
+	if err := validateRails(spec); err != nil {
+		return nil, fmt.Errorf("core: channel %q: %w", spec.Name, err)
+	}
+	stripe := spec.StripeSize
+	if stripe == 0 {
+		stripe = DefaultStripeSize
+	}
+
 	s.mu.Lock()
 	id := s.nextID
-	s.nextID++
+	// A multi-rail channel reserves one id per rail so every rail's
+	// protocol resources (ports, tags, segment ids, VI discriminators)
+	// stay collision-free session-wide.
+	s.nextID += max(1, len(spec.Rails))
 	obs := s.obs
 	s.mu.Unlock()
 
 	members := spec.Nodes
 	if members == nil {
 		for r := 0; r < s.world.Size(); r++ {
-			if _, err := newPMMProbe(spec.Driver, s.world.Node(r), spec.Adapter); err == nil {
+			if probeSpec(spec, s.world.Node(r)) == nil {
 				members = append(members, r)
 			}
 		}
@@ -91,7 +123,13 @@ func (s *Session) NewChannel(spec ChannelSpec) (map[int]*Channel, error) {
 
 	chans := make(map[int]*Channel, len(members))
 	for _, r := range members {
-		pmm, err := newPMM(spec.Driver, s.world.Node(r), spec.Adapter, id)
+		var pmm PMM
+		var err error
+		if len(spec.Rails) > 0 {
+			pmm, err = newRailPMM(s.world.Node(r), spec.Rails, id, stripe)
+		} else {
+			pmm, err = newPMM(spec.Driver, s.world.Node(r), spec.Adapter, id)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("core: channel %q on rank %d: %w", spec.Name, r, err)
 		}
@@ -157,4 +195,49 @@ func (s *Session) channelOn(name string, rank int) *Channel {
 // preconnector is the two-phase bootstrap hook every PMM implements.
 type preconnector interface {
 	PreConnect(cs *ConnState) error
+}
+
+// validateRails rejects malformed multi-rail specs before any resource
+// is allocated.
+func validateRails(spec ChannelSpec) error {
+	if len(spec.Rails) == 0 {
+		if spec.StripeSize != 0 {
+			return fmt.Errorf("StripeSize %d set without Rails", spec.StripeSize)
+		}
+		return nil
+	}
+	if len(spec.Rails) > maxRails {
+		return fmt.Errorf("%d rails exceed the %d-rail limit", len(spec.Rails), maxRails)
+	}
+	if spec.StripeSize < 0 {
+		return fmt.Errorf("negative StripeSize %d", spec.StripeSize)
+	}
+	seen := make(map[RailSpec]bool, len(spec.Rails))
+	for i, r := range spec.Rails {
+		if _, err := networkFor(r.Driver); err != nil {
+			if _, ok := externalDriver(r.Driver); !ok {
+				return fmt.Errorf("rail %d: %w", i, err)
+			}
+		}
+		if seen[r] {
+			return fmt.Errorf("rail %d duplicates %s[%d]", i, r.Driver, r.Adapter)
+		}
+		seen[r] = true
+	}
+	return nil
+}
+
+// probeSpec reports whether a node can host the channel: its single
+// driver's adapter, or — for a multi-rail channel — every rail's.
+func probeSpec(spec ChannelSpec, node *simnet.Node) error {
+	if len(spec.Rails) == 0 {
+		_, err := newPMMProbe(spec.Driver, node, spec.Adapter)
+		return err
+	}
+	for _, r := range spec.Rails {
+		if _, err := newPMMProbe(r.Driver, node, r.Adapter); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -58,6 +58,9 @@ func Attach(n *simnet.Node, idx int) (*NIC, error) {
 // Node reports the rank of the NIC's host.
 func (n *NIC) Node() int { return n.adapter.Node().ID() }
 
+// Index reports the NIC's adapter index on the VIA network.
+func (n *NIC) Index() int { return n.adapter.Index() }
+
 // MemRegion is a registered (pinned) memory region.
 type MemRegion struct {
 	buf        []byte

@@ -55,6 +55,9 @@ type (
 	Connection = core.Connection
 	// ChannelSpec describes a channel to create collectively.
 	ChannelSpec = core.ChannelSpec
+	// RailSpec names one rail (driver + adapter index) of a
+	// multi-rail striped channel; see ChannelSpec.Rails.
+	RailSpec = core.RailSpec
 	// SendMode is the emission flag of Pack (send_SAFER/LATER/CHEAPER).
 	SendMode = core.SendMode
 	// RecvMode is the reception flag (receive_EXPRESS/CHEAPER).
