@@ -29,9 +29,11 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to reproduce: all, 4, 5, 6, 7, crossover, 10, 11, stripe")
+	fig := flag.String("fig", "all", "which figure to reproduce: all, 4, 5, 6, 7, crossover, 10, 11, stripe, async")
 	rails := flag.String("rails", "1,2,4", "rail counts for the stripe figure, comma-separated")
 	stripeSize := flag.Int("stripe-size", 0, "stripe chunk size in bytes for the stripe figure (0 = library default)")
+	asyncWorkers := flag.Int("async-workers", 64, "progress-engine worker count for the async figure")
+	asyncConns := flag.String("async-conns", "", "conversation counts for the async figure, comma-separated (default 1000,10000,100000)")
 	ablations := flag.Bool("ablations", false, "run only the ablation studies")
 	markdown := flag.String("markdown", "", "write the results as Markdown to this file")
 	jsonOut := flag.String("json", "", "write the results as JSON to this file")
@@ -51,6 +53,16 @@ func main() {
 			var abl []bench.Result
 			abl, err = bench.AllAblations()
 			results = append(results, abl...)
+		}
+	case *fig == "async":
+		var scales []int
+		if *asyncConns != "" {
+			scales, err = parseCounts(*asyncConns, "-async-conns")
+		}
+		if err == nil {
+			var r bench.Result
+			r, err = bench.AsyncScale(scales, *asyncWorkers)
+			results = []bench.Result{r}
 		}
 	case *fig == "stripe":
 		var counts []int
@@ -122,7 +134,10 @@ func main() {
 }
 
 // parseRails parses the -rails flag's comma-separated rail counts.
-func parseRails(s string) ([]int, error) {
+func parseRails(s string) ([]int, error) { return parseCounts(s, "-rails") }
+
+// parseCounts parses a comma-separated list of positive counts.
+func parseCounts(s, flagName string) ([]int, error) {
 	var counts []int
 	for _, part := range strings.Split(s, ",") {
 		part = strings.TrimSpace(part)
@@ -131,12 +146,12 @@ func parseRails(s string) ([]int, error) {
 		}
 		n, err := strconv.Atoi(part)
 		if err != nil || n < 1 {
-			return nil, fmt.Errorf("bad -rails value %q (want comma-separated counts >= 1)", part)
+			return nil, fmt.Errorf("bad %s value %q (want comma-separated counts >= 1)", flagName, part)
 		}
 		counts = append(counts, n)
 	}
 	if len(counts) == 0 {
-		return nil, fmt.Errorf("-rails lists no rail counts")
+		return nil, fmt.Errorf("%s lists no counts", flagName)
 	}
 	return counts, nil
 }

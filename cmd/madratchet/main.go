@@ -1,0 +1,96 @@
+// Command madratchet is the benchmark regression ratchet: it diffs the
+// current run's madbench JSON output against the previous run's artifacts
+// and exits non-zero when a matched measurement regressed by more than
+// the tolerance (latency points and µs anchors must not rise, MB/s and
+// msg/s anchors must not fall).
+//
+// Usage:
+//
+//	madratchet -old prev/ -new .          # diff every *.json pair by basename
+//	madratchet -old prev/BENCH_async.json -new BENCH_async.json
+//
+// A missing or empty baseline is not an error — the first run of a new
+// figure just seeds the next run's baseline — so the tool warns and exits
+// zero. Only a matched (figure, series, point) or (figure, anchor) pair
+// that got worse fails the build.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"madeleine2/internal/bench"
+)
+
+func main() {
+	oldPath := flag.String("old", "", "baseline: a madbench JSON file or a directory of them")
+	newPath := flag.String("new", "", "current run: a madbench JSON file or a directory of them")
+	tol := flag.Float64("tol", bench.DefaultTolerance, "relative regression tolerance")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "madratchet: both -old and -new are required")
+		os.Exit(2)
+	}
+
+	oldRes, err := loadAll(*oldPath)
+	if err != nil {
+		// No baseline yet (first run, expired artifact): nothing to ratchet
+		// against. Warn and pass so the pipeline can seed one.
+		fmt.Printf("madratchet: no usable baseline at %s (%v); skipping\n", *oldPath, err)
+		return
+	}
+	if len(oldRes) == 0 {
+		fmt.Printf("madratchet: baseline %s holds no results; skipping\n", *oldPath)
+		return
+	}
+	newRes, err := loadAll(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "madratchet: current run: %v\n", err)
+		os.Exit(2)
+	}
+
+	regs := bench.Ratchet(oldRes, newRes, *tol)
+	if len(regs) == 0 {
+		fmt.Printf("madratchet: no regressions beyond %.0f%% across %d baseline results\n",
+			*tol*100, len(oldRes))
+		return
+	}
+	fmt.Fprintf(os.Stderr, "madratchet: %d regression(s) beyond %.0f%%:\n", len(regs), *tol*100)
+	for _, r := range regs {
+		fmt.Fprintf(os.Stderr, "  %s\n", r)
+	}
+	os.Exit(1)
+}
+
+// loadAll reads one madbench JSON file, or every *.json in a directory.
+func loadAll(path string) ([]bench.Result, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if !st.IsDir() {
+		return bench.LoadResults(path)
+	}
+	files, err := filepath.Glob(filepath.Join(path, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(files)
+	var all []bench.Result
+	for _, f := range files {
+		res, err := bench.LoadResults(f)
+		if err != nil {
+			// Directories may hold non-madbench JSON (e.g. Chrome traces);
+			// skip what doesn't parse as results.
+			continue
+		}
+		all = append(all, res...)
+	}
+	if len(all) == 0 {
+		return nil, fmt.Errorf("no madbench results in %s", path)
+	}
+	return all, nil
+}

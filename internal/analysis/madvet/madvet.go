@@ -3,6 +3,7 @@
 // compiler cannot see (DESIGN.md "Static analysis & invariants").
 //
 //	packpair     Begin/End pairing and abort-on-error on the message path
+//	reqpair      async Submit* requests drained (CQ/callback) or Discarded
 //	modeflags    statically invalid Pack/Unpack mode combinations (Table 1)
 //	leaserelease lease/token acquire paired with release on every path
 //	virtualtime  no real clock in internal/ packages (vclock only)
@@ -25,6 +26,7 @@ import (
 // Analyzers is the suite cmd/madvet runs, in reporting order.
 var Analyzers = []*analysis.Analyzer{
 	PackPair,
+	ReqPair,
 	ModeFlags,
 	LeaseRelease,
 	VirtualTime,

@@ -22,6 +22,10 @@ func TestPackPair(t *testing.T) {
 	analysistest.Run(t, testdata(t), madvet.PackPair, "packpair")
 }
 
+func TestReqPair(t *testing.T) {
+	analysistest.Run(t, testdata(t), madvet.ReqPair, "reqpair")
+}
+
 func TestModeFlags(t *testing.T) {
 	analysistest.Run(t, testdata(t), madvet.ModeFlags, "modeflags")
 }

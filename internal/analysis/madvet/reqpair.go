@@ -1,0 +1,172 @@
+package madvet
+
+import (
+	"go/ast"
+	"go/types"
+
+	"madeleine2/internal/analysis"
+)
+
+// ReqPair enforces the completion contract of the asynchronous interface
+// (DESIGN.md "Asynchronous interface & progress engine"): every Request
+// returned by SubmitPack/SubmitUnpack/SubmitEnd must have its completion
+// drained — the function polls or waits on a completion queue, installs
+// an OnCompletion callback, or explicitly abandons the request with
+// Discard() — on every control-flow path. A request bound to a variable
+// that reaches a function exit with none of these is a held descriptor
+// whose completion nobody will ever observe.
+//
+// Two deliberate opt-outs:
+//   - `_ = am.SubmitPack(...)` is fire-and-forget by construction (the
+//     completion still lands on the conversation's CQ, just without a
+//     per-request handle) and passes;
+//   - a request whose ownership escapes the function (returned, stored,
+//     passed along) is the recipient's responsibility.
+//
+// A bare `am.SubmitPack(...)` expression statement is flagged: silently
+// dropping the handle is indistinguishable from forgetting it.
+var ReqPair = &analysis.Analyzer{
+	Name: "reqpair",
+	Doc: "check that every Submit* request reaches CQ.Poll/CQ.Wait, a callback,\n" +
+		"or an explicit Discard on all paths (use `_ =` for fire-and-forget)",
+	Run: runReqPair,
+}
+
+// submitMethods return a *Request; drainMethods prove the function
+// observes completions from a CQ.
+var (
+	submitMethods = []string{"SubmitPack", "SubmitUnpack", "SubmitEnd"}
+	drainMethods  = []string{"Poll", "Wait", "OnCompletion"}
+)
+
+func runReqPair(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	checkDroppedRequests(pass)
+	funcBodies(pass.Files, func(name string, body *ast.BlockStmt) {
+		g := analysis.BuildCFG(body, analysis.TerminatingClassifier(info))
+		for _, n := range g.Nodes {
+			as, ok := n.Stmt.(*ast.AssignStmt)
+			if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 1 {
+				continue
+			}
+			call, ok := as.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			_, submit, ok := isCoreMethod(info, call, submitMethods...)
+			if !ok {
+				continue
+			}
+			reqObj := defObj(info, as.Lhs[0])
+			if reqObj == nil {
+				continue // `_ = am.Submit...`: deliberate fire-and-forget
+			}
+			if connEscapes(info, body, reqObj) {
+				continue // ownership moves out of this function
+			}
+			pc := &pairCheck{
+				g:       g,
+				info:    info,
+				acquire: n,
+				classify: func(stmt ast.Stmt) pairEvent {
+					return classifyReqStmt(info, stmt, reqObj)
+				},
+				leak: func(leakNode *analysis.Node) {
+					pos := as.Pos()
+					where := ""
+					if leakNode.Stmt != nil {
+						pos = leakNode.Stmt.Pos()
+						where = " here"
+					}
+					pass.Reportf(pos, "request from %s can exit%s without reaching CQ.Poll/CQ.Wait, a callback, or Discard: its completion is never observed", submit, where)
+				},
+			}
+			pc.run()
+		}
+	})
+	return nil
+}
+
+// classifyReqStmt describes one statement's effect on the tracked
+// request: Discard on the request itself, or any completion drain
+// (Poll/Wait/OnCompletion on a CQ), settles it.
+func classifyReqStmt(info *types.Info, stmt ast.Stmt, reqObj types.Object) pairEvent {
+	if d, ok := stmt.(*ast.DeferStmt); ok {
+		if stmtCallsConnMethod(info, d, reqObj, "Discard") || stmtDrainsCQ(info, d) {
+			return pairEvent{kind: pairEvDeferRelease}
+		}
+		return pairEvent{kind: pairEvNone}
+	}
+	if stmtCallsConnMethod(info, stmt, reqObj, "Discard") || stmtDrainsCQ(info, stmt) {
+		return pairEvent{kind: pairEvRelease}
+	}
+	return pairEvent{kind: pairEvNone}
+}
+
+// stmtDrainsCQ reports whether the statement contains a completion-drain
+// call (Poll/Wait/OnCompletion on any core.CQ). Like stmtCallsConnMethod,
+// only the header expressions of compound statements count — `for { ... }`
+// bodies are their own CFG nodes.
+func stmtDrainsCQ(info *types.Info, stmt ast.Stmt) bool {
+	found := false
+	check := func(n ast.Node) {
+		if n == nil || found {
+			return
+		}
+		ast.Inspect(n, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if _, _, ok := isCoreMethod(info, call, drainMethods...); ok {
+				found = true
+				return false
+			}
+			return true
+		})
+	}
+	switch s := stmt.(type) {
+	case *ast.IfStmt:
+		check(s.Cond)
+	case *ast.ForStmt:
+		check(s.Cond)
+	case *ast.RangeStmt:
+		check(s.X)
+	case *ast.SwitchStmt:
+		check(s.Init)
+		check(s.Tag)
+	case *ast.TypeSwitchStmt:
+		check(s.Init)
+		check(s.Assign)
+	case *ast.SelectStmt, *ast.BlockStmt, *ast.LabeledStmt:
+		// Bodies are separate nodes; nothing evaluates at the header.
+	default:
+		check(stmt)
+	}
+	return found
+}
+
+// checkDroppedRequests flags bare Submit* expression statements: the
+// request handle vanishes without the author saying so.
+func checkDroppedRequests(pass *analysis.Pass) {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if _, name, ok := isCoreMethod(info, call, submitMethods...); ok {
+				pass.Reportf(call.Pos(), "request returned by %s is dropped silently (use `_ =` for deliberate fire-and-forget)", name)
+			}
+			return true
+		})
+	}
+}

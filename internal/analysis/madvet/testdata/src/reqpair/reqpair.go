@@ -1,0 +1,106 @@
+// Fixtures for the reqpair analyzer: every Submit* request drained
+// through a CQ (Poll/Wait/callback) or explicitly Discarded on all
+// paths, with `_ =` as the deliberate fire-and-forget opt-out.
+package reqpair
+
+import (
+	"core"
+)
+
+// goodWait submits and drains the conversation's queue on the spot.
+func goodWait(am *core.AsyncMsg, cq *core.CQ, data []byte) error {
+	req := am.SubmitPack(data, core.SendCheaper, core.ReceiveCheaper)
+	c, ok := cq.Wait()
+	if !ok {
+		return nil // queue closed: the conversation was torn down
+	}
+	if c.Err != nil {
+		return c.Err
+	}
+	return req.Err()
+}
+
+// goodPollHeader drains via Poll in an if-init header.
+func goodPollHeader(am *core.AsyncMsg, cq *core.CQ, data []byte) error {
+	req := am.SubmitPack(data, core.SendCheaper, core.ReceiveCheaper)
+	_ = req.Done()
+	if c, ok := cq.Poll(); ok {
+		return c.Err
+	}
+	return nil
+}
+
+// goodCallback installs a completion callback while the op is in flight.
+func goodCallback(am *core.AsyncMsg, cq *core.CQ, data []byte) {
+	req := am.SubmitUnpack(data, core.SendCheaper, core.ReceiveCheaper)
+	_ = req.Done()
+	cq.OnCompletion(func(c core.Completion) { _ = c.Err })
+}
+
+// goodDiscard abandons the request explicitly on every path.
+func goodDiscard(am *core.AsyncMsg, data []byte) {
+	req := am.SubmitPack(data, core.SendCheaper, core.ReceiveCheaper)
+	req.Discard()
+}
+
+// goodDeferDiscard abandons it on the way out, panics included.
+func goodDeferDiscard(am *core.AsyncMsg, data []byte, f func([]byte)) {
+	req := am.SubmitEnd()
+	defer req.Discard()
+	f(data)
+}
+
+// goodOptOut is deliberate fire-and-forget: the completions still land
+// on the conversation's CQ for whoever drains it.
+func goodOptOut(am *core.AsyncMsg, data []byte) {
+	_ = am.SubmitPack(data, core.SendCheaper, core.ReceiveCheaper)
+	_ = am.SubmitEnd()
+}
+
+// goodEscape hands the request to the caller, who must drain it.
+func goodEscape(am *core.AsyncMsg, data []byte) *core.Request {
+	req := am.SubmitPack(data, core.SendCheaper, core.ReceiveCheaper)
+	return req
+}
+
+// goodEscapeStore parks the request in a structure someone else drains.
+func goodEscapeStore(am *core.AsyncMsg, pending []*core.Request, data []byte) []*core.Request {
+	req := am.SubmitUnpack(data, core.SendCheaper, core.ReceiveCheaper)
+	return append(pending, req)
+}
+
+// badDropped throws the handle away without saying so.
+func badDropped(am *core.AsyncMsg, data []byte) {
+	am.SubmitPack(data, core.SendCheaper, core.ReceiveCheaper) // want `request returned by SubmitPack is dropped silently`
+	am.SubmitEnd()                                             // want `request returned by SubmitEnd is dropped silently`
+}
+
+// badNeverDrained holds the request and exits without observing it.
+func badNeverDrained(am *core.AsyncMsg, data []byte) {
+	req := am.SubmitPack(data, core.SendCheaper, core.ReceiveCheaper)
+	_ = req.Done() // want `request from SubmitPack can exit here without reaching`
+}
+
+// badLeakOnePath drains one branch but bails out of the other.
+func badLeakOnePath(am *core.AsyncMsg, cq *core.CQ, data []byte, fast bool) error {
+	req := am.SubmitUnpack(data, core.SendCheaper, core.ReceiveCheaper)
+	_ = req.Done()
+	if fast {
+		return nil // want `request from SubmitUnpack can exit here without reaching`
+	}
+	c, ok := cq.Wait()
+	if !ok {
+		return nil
+	}
+	return c.Err
+}
+
+// badDiscardOnePath discards in one branch only, so the fall-through
+// join still holds an unobserved request.
+func badDiscardOnePath(am *core.AsyncMsg, data []byte, cancel bool) {
+	req := am.SubmitEnd() // want `request from SubmitEnd can exit without reaching`
+	_ = data
+	if cancel {
+		req.Discard()
+	}
+}

@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"madeleine2/internal/core"
+	"madeleine2/internal/simnet"
+	"madeleine2/internal/tcpnet"
+	"madeleine2/internal/vclock"
+)
+
+// Asynchronous-interface scale figure: sustained message throughput and
+// completion-latency percentiles when a small fixed progress engine
+// services orders of magnitude more logical conversations than it has
+// workers — the LCI-style claim the async refactor is built on. The sync
+// path would need one goroutine per conversation; here the worker pool is
+// constant while the conversation count sweeps 1k/10k/100k.
+
+// AsyncNodes is the node count of the async-scale world; AsyncMsgBytes the
+// per-conversation message size (latency-class, like the paper's small
+// messages).
+const (
+	AsyncNodes    = 8
+	AsyncMsgBytes = 64
+)
+
+// AsyncScales is the default conversation-count sweep.
+var AsyncScales = []int{1_000, 10_000, 100_000}
+
+// asyncScalePoint runs one scale: conns logical conversations (round-robin
+// over every directed node pair of a tcp channel) driven by a
+// workers-sized engine. It reports the completion-time percentiles across
+// conversations and the sustained virtual message rate.
+func asyncScalePoint(conns, workers int) (p50, p99 vclock.Time, msgsPerSec float64, err error) {
+	w := simnet.NewWorld(AsyncNodes)
+	for i := 0; i < AsyncNodes; i++ {
+		w.Node(i).AddAdapter(tcpnet.Network)
+	}
+	sess := core.NewSessionWith(w, core.SessionSpec{Workers: workers})
+	defer sess.Shutdown()
+	chans, err := sess.NewChannel(core.ChannelSpec{Name: NextName("async-scale"), Driver: "tcp"})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+
+	type pair struct{ src, dst int }
+	var pairs []pair
+	for s := 0; s < AsyncNodes; s++ {
+		for d := 0; d < AsyncNodes; d++ {
+			if s != d {
+				pairs = append(pairs, pair{s, d})
+			}
+		}
+	}
+
+	payload := make([]byte, AsyncMsgBytes)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	scq, rcq := core.NewCQ(), core.NewCQ()
+	dsts := make([][]byte, conns)
+	for k := 0; k < conns; k++ {
+		p := pairs[k%len(pairs)]
+		send, err := chans[p.src].SubmitPacking(p.dst, scq)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		_ = send.SubmitPack(payload, core.SendCheaper, core.ReceiveCheaper)
+		_ = send.SubmitEnd()
+
+		recv := chans[p.dst].SubmitUnpacking(rcq)
+		dsts[k] = make([]byte, AsyncMsgBytes)
+		_ = recv.SubmitUnpack(dsts[k], core.SendCheaper, core.ReceiveCheaper)
+		_ = recv.SubmitEnd()
+	}
+
+	// Drain both queues to the last End. Every conversation started at the
+	// virtual epoch, so a receive conversation's End stamp is its
+	// end-to-end completion time under full load.
+	ends := make([]vclock.Time, 0, conns)
+	for done := 0; done < conns; {
+		c, ok := scq.Wait()
+		if !ok {
+			return 0, 0, 0, fmt.Errorf("bench: send CQ closed early")
+		}
+		if c.Err != nil {
+			return 0, 0, 0, fmt.Errorf("bench: send completion: %w", c.Err)
+		}
+		if c.Kind == core.OpEnd {
+			done++
+		}
+	}
+	for len(ends) < conns {
+		c, ok := rcq.Wait()
+		if !ok {
+			return 0, 0, 0, fmt.Errorf("bench: recv CQ closed early")
+		}
+		if c.Err != nil {
+			return 0, 0, 0, fmt.Errorf("bench: recv completion: %w", c.Err)
+		}
+		if c.Kind == core.OpEnd {
+			ends = append(ends, c.Time)
+		}
+	}
+	for k, dst := range dsts {
+		for i := range dst {
+			if dst[i] != payload[i] {
+				return 0, 0, 0, fmt.Errorf("bench: conversation %d delivered corrupt payload", k)
+			}
+		}
+	}
+
+	sort.Slice(ends, func(i, j int) bool { return ends[i] < ends[j] })
+	p50 = ends[len(ends)/2]
+	p99 = ends[(len(ends)*99)/100]
+	makespan := ends[len(ends)-1]
+	if makespan > 0 {
+		msgsPerSec = float64(conns) / makespan.Seconds()
+	}
+	return p50, p99, msgsPerSec, nil
+}
+
+// AsyncScale reproduces the async-interface scale figure over the given
+// conversation-count sweep on a workers-sized progress engine.
+func AsyncScale(scales []int, workers int) (Result, error) {
+	if len(scales) == 0 {
+		scales = AsyncScales
+	}
+	res := Result{
+		ID:    "async",
+		Title: fmt.Sprintf("Async submission at scale (%d-worker progress engine)", workers),
+		Notes: fmt.Sprintf("%d-node tcp world, %d B messages round-robin over every directed pair; "+
+			"Series x-axis is the concurrent-conversation count and OneWay the virtual completion-time "+
+			"percentile across conversations all submitted at the epoch (the MB/s column is not meaningful "+
+			"for this figure); anchors report the sustained virtual message rate.", AsyncNodes, AsyncMsgBytes),
+	}
+	p50s := Series{Name: "p50 completion"}
+	p99s := Series{Name: "p99 completion"}
+	for _, c := range scales {
+		p50, p99, rate, err := asyncScalePoint(c, workers)
+		if err != nil {
+			return res, fmt.Errorf("bench: async scale %d: %w", c, err)
+		}
+		p50s.Points = append(p50s.Points, Point{Size: c, OneWay: p50})
+		p99s.Points = append(p99s.Points, Point{Size: c, OneWay: p99})
+		res.Anchors = append(res.Anchors, Anchor{
+			Name:     fmt.Sprintf("sustained rate @ %d conns", c),
+			Measured: rate,
+			Unit:     "msg/s",
+		})
+	}
+	res.Series = []Series{p50s, p99s}
+	return res, nil
+}

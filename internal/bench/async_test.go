@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestAsyncScaleWorlds is the tentpole acceptance check: 1k and 10k
+// concurrent logical conversations complete on a 64-worker progress
+// engine (the sync path would need one goroutine per conversation). CI
+// runs this under -race -count=2.
+func TestAsyncScaleWorlds(t *testing.T) {
+	for _, conns := range []int{1_000, 10_000} {
+		p50, p99, rate, err := asyncScalePoint(conns, 64)
+		if err != nil {
+			t.Fatalf("%d conversations: %v", conns, err)
+		}
+		if p50 <= 0 || p99 < p50 {
+			t.Fatalf("%d conversations: implausible percentiles p50=%v p99=%v", conns, p50, p99)
+		}
+		if rate <= 0 {
+			t.Fatalf("%d conversations: zero sustained rate", conns)
+		}
+		t.Logf("%d conns: p50=%v p99=%v rate=%.0f msg/s (virtual)", conns, p50, p99, rate)
+	}
+}
+
+// TestAsyncScaleFigure exercises the figure wrapper at a small scale.
+func TestAsyncScaleFigure(t *testing.T) {
+	res, err := AsyncScale([]int{200, 400}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 2 {
+		t.Fatalf("got %d series, want 2", len(res.Series))
+	}
+	for _, s := range res.Series {
+		if len(s.Points) != 2 {
+			t.Fatalf("series %q has %d points, want 2", s.Name, len(s.Points))
+		}
+	}
+	if len(res.Anchors) != 2 {
+		t.Fatalf("got %d anchors, want 2", len(res.Anchors))
+	}
+	for _, a := range res.Anchors {
+		if a.Measured <= 0 {
+			t.Fatalf("anchor %q measured %v, want > 0", a.Name, a.Measured)
+		}
+		if a.Unit != "msg/s" {
+			t.Fatalf("anchor %q unit %q, want msg/s", a.Name, a.Unit)
+		}
+	}
+}

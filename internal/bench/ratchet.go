@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Benchmark regression ratchet: CI keeps the previous run's BENCH_*.json
+// artifacts and fails the build when the new run regresses a latency
+// point or a throughput anchor by more than a tolerance. Keys are stable
+// across runs — (Result.ID, Series.Name, Point.Size) for curve points and
+// (Result.ID, Anchor.Name) for anchors — so figures can gain or lose
+// entries without tripping the ratchet; only a matched pair can regress.
+
+// DefaultTolerance is the relative slack before a change counts as a
+// regression: 5%, matching the run-to-run noise of the virtual models.
+const DefaultTolerance = 0.05
+
+// Regression is one matched measurement that got worse.
+type Regression struct {
+	Key   string  // human-readable identity of the measurement
+	Unit  string  // "µs" for curve points, the anchor's unit otherwise
+	Old   float64 // baseline value
+	New   float64 // current value
+	Delta float64 // relative change, signed so that positive = worse
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %.3f -> %.3f %s (%+.1f%% worse)",
+		r.Key, r.Old, r.New, r.Unit, r.Delta*100)
+}
+
+// direction classifies an anchor unit: -1 when lower is better (µs), +1
+// when higher is better (MB/s, msg/s), 0 when the unit has no obvious
+// direction (ratios, annotated units) and the pair is skipped.
+func direction(unit string) int {
+	u := unit
+	if i := strings.IndexByte(u, ' '); i >= 0 {
+		u = u[:i]
+	}
+	switch {
+	case u == "µs" || u == "us" || strings.HasPrefix(u, "µs/") || strings.HasPrefix(u, "us/"):
+		return -1
+	case u == "MB/s" || u == "msg/s":
+		return +1
+	}
+	return 0
+}
+
+// Ratchet compares a new run against a baseline and reports every matched
+// measurement that regressed by more than tol (relative). Curve points
+// compare OneWay (lower is better); anchors compare Measured in the
+// direction their unit implies. Measurements present in only one run are
+// ignored — the ratchet constrains drift, not coverage.
+func Ratchet(oldRes, newRes []Result, tol float64) []Regression {
+	if tol <= 0 {
+		tol = DefaultTolerance
+	}
+	oldPoints := map[string]Point{}
+	oldAnchors := map[string]Anchor{}
+	for _, r := range oldRes {
+		for _, s := range r.Series {
+			for _, p := range s.Points {
+				oldPoints[fmt.Sprintf("%s/%s@%d", r.ID, s.Name, p.Size)] = p
+			}
+		}
+		for _, a := range r.Anchors {
+			oldAnchors[r.ID+"/"+a.Name] = a
+		}
+	}
+
+	var regs []Regression
+	for _, r := range newRes {
+		for _, s := range r.Series {
+			for _, p := range s.Points {
+				key := fmt.Sprintf("%s/%s@%d", r.ID, s.Name, p.Size)
+				old, ok := oldPoints[key]
+				if !ok || old.OneWay <= 0 {
+					continue
+				}
+				delta := float64(p.OneWay-old.OneWay) / float64(old.OneWay)
+				if delta > tol {
+					regs = append(regs, Regression{
+						Key: key, Unit: "µs",
+						Old:   old.OneWay.Microseconds(),
+						New:   p.OneWay.Microseconds(),
+						Delta: delta,
+					})
+				}
+			}
+		}
+		for _, a := range r.Anchors {
+			key := r.ID + "/" + a.Name
+			old, ok := oldAnchors[key]
+			if !ok || old.Measured <= 0 {
+				continue
+			}
+			dir := direction(a.Unit)
+			if dir == 0 || direction(old.Unit) != dir {
+				continue
+			}
+			delta := (a.Measured - old.Measured) / old.Measured * float64(-dir)
+			if delta > tol {
+				regs = append(regs, Regression{
+					Key: key, Unit: a.Unit,
+					Old: old.Measured, New: a.Measured,
+					Delta: delta,
+				})
+			}
+		}
+	}
+	return regs
+}
+
+// LoadResults reads one madbench -json output file.
+func LoadResults(path string) ([]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var res []Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return res, nil
+}

@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"madeleine2/internal/vclock"
+)
+
+func ratchetBaseline() []Result {
+	return []Result{{
+		ID: "fig4",
+		Series: []Series{{
+			Name: "latency",
+			Points: []Point{
+				{Size: 4, OneWay: vclock.Time(4000)},
+				{Size: 1024, OneWay: vclock.Time(20000)},
+			},
+		}},
+		Anchors: []Anchor{
+			{Name: "peak bandwidth", Measured: 80, Unit: "MB/s"},
+			{Name: "minimal latency", Measured: 4, Unit: "µs"},
+			{Name: "hand-off speedup", Measured: 1.1, Unit: "× (ratio)"},
+		},
+	}}
+}
+
+func TestRatchetClean(t *testing.T) {
+	base := ratchetBaseline()
+	// Identical runs, small improvements, and sub-tolerance noise all pass.
+	cur := ratchetBaseline()
+	cur[0].Series[0].Points[0].OneWay = vclock.Time(4100) // +2.5% < 5%
+	cur[0].Anchors[0].Measured = 78                       // -2.5% < 5%
+	cur[0].Anchors[1].Measured = 3                        // improvement
+	if regs := Ratchet(base, cur, 0); len(regs) != 0 {
+		t.Fatalf("clean run flagged: %v", regs)
+	}
+}
+
+func TestRatchetFlagsRegressions(t *testing.T) {
+	base := ratchetBaseline()
+	cur := ratchetBaseline()
+	cur[0].Series[0].Points[1].OneWay = vclock.Time(23000) // +15% latency
+	cur[0].Anchors[0].Measured = 70                        // -12.5% MB/s
+	regs := Ratchet(base, cur, 0)
+	if len(regs) != 2 {
+		t.Fatalf("got %d regressions, want 2: %v", len(regs), regs)
+	}
+	if regs[0].Key != "fig4/latency@1024" || regs[0].Unit != "µs" {
+		t.Fatalf("first regression %+v, want the 1024 B latency point", regs[0])
+	}
+	if regs[1].Key != "fig4/peak bandwidth" {
+		t.Fatalf("second regression %+v, want the bandwidth anchor", regs[1])
+	}
+	if !strings.Contains(regs[1].String(), "worse") {
+		t.Fatalf("regression renders as %q", regs[1].String())
+	}
+}
+
+func TestRatchetSkipsUnmatchedAndDirectionless(t *testing.T) {
+	base := ratchetBaseline()
+	cur := ratchetBaseline()
+	// A collapsed ratio anchor has no direction; a brand-new figure has no
+	// baseline counterpart. Neither trips the ratchet.
+	cur[0].Anchors[2].Measured = 0.2
+	cur = append(cur, Result{
+		ID:      "async",
+		Series:  []Series{{Name: "p99", Points: []Point{{Size: 1000, OneWay: vclock.Time(9999999)}}}},
+		Anchors: []Anchor{{Name: "rate", Measured: 1, Unit: "msg/s"}},
+	})
+	if regs := Ratchet(base, cur, 0); len(regs) != 0 {
+		t.Fatalf("unmatched/directionless entries flagged: %v", regs)
+	}
+	// Higher-is-better works for msg/s once matched.
+	base = append(base, cur[1])
+	cur2 := ratchetBaseline()
+	cur2 = append(cur2, Result{
+		ID:      "async",
+		Series:  cur[1].Series,
+		Anchors: []Anchor{{Name: "rate", Measured: 0.5, Unit: "msg/s"}},
+	})
+	regs := Ratchet(base, cur2, 0)
+	if len(regs) != 1 || regs[0].Key != "async/rate" {
+		t.Fatalf("msg/s regression not flagged: %v", regs)
+	}
+}
+
+func TestLoadResultsRoundTrip(t *testing.T) {
+	base := ratchetBaseline()
+	data, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadResults(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := Ratchet(base, got, 0); len(regs) != 0 {
+		t.Fatalf("round-tripped results regressed: %v", regs)
+	}
+	if got[0].Series[0].Points[1].OneWay != base[0].Series[0].Points[1].OneWay {
+		t.Fatalf("OneWay did not survive JSON: %v", got[0].Series[0].Points[1])
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"madeleine2/internal/model"
 	"madeleine2/internal/simnet"
@@ -35,6 +36,12 @@ type Channel struct {
 
 	conns map[int]*ConnState
 	stats chanStats
+
+	// amux, once started, owns incoming.Pop and fans announcements out to
+	// sync and async receivers in registration order. It is nil until the
+	// first SubmitUnpacking; pure-sync channels never pay for it.
+	amu  sync.Mutex
+	amux *announceMux
 }
 
 // Name reports the channel's session-wide name.
@@ -73,27 +80,94 @@ func (c *Channel) conn(remote int) (*ConnState, error) {
 // actor acquires it for the span of one message (Begin… to End…); a
 // contended acquisition blocks until the current holder releases and then
 // synchronizes the acquirer's virtual clock to the release time — waiting
-// costs virtual time through the existing queue machinery, not wall-clock
-// lock order. Uncontended single-actor flows are unchanged: an actor
-// re-acquiring its own release stamp never moves its clock.
+// costs virtual time, not wall-clock lock order. Uncontended single-actor
+// flows are unchanged: an actor re-acquiring its own release stamp never
+// moves its clock.
+//
+// The async submission path never parks an engine worker on a lease:
+// acquireAsync registers a continuation that the releasing goroutine runs
+// when ownership transfers. Sync and async acquirers share one FIFO, so a
+// mixed workload keeps the same per-direction fairness as the pure-sync
+// library.
 type lease struct {
-	q *simnet.Queue[vclock.Time]
+	s *leaseState
 }
 
-func newLease() lease {
-	l := lease{q: simnet.NewQueue[vclock.Time]()}
-	l.q.Push(0)
-	return l
+type leaseState struct {
+	mu      sync.Mutex
+	free    bool
+	stamp   vclock.Time // release time of the last holder
+	waiters []leaseWaiter
 }
+
+// leaseWaiter is one parked acquirer: a channel for blocking (sync)
+// acquirers, a continuation for async ones. Exactly one field is set.
+type leaseWaiter struct {
+	c  chan vclock.Time
+	fn func(vclock.Time)
+}
+
+func newLease() lease { return lease{s: &leaseState{free: true}} }
 
 // acquire blocks until the lease is free and syncs a to the release stamp.
 func (l lease) acquire(a *vclock.Actor) {
-	t, _ := l.q.Pop()
-	a.Sync(t)
+	s := l.s
+	s.mu.Lock()
+	if s.free {
+		s.free = false
+		t := s.stamp
+		s.mu.Unlock()
+		a.Sync(t)
+		return
+	}
+	c := make(chan vclock.Time, 1)
+	s.waiters = append(s.waiters, leaseWaiter{c: c})
+	s.mu.Unlock()
+	a.Sync(<-c)
+}
+
+// acquireAsync takes the lease without blocking. When the lease is free the
+// continuation runs inline (before acquireAsync returns) and the result is
+// true; otherwise fn is parked FIFO behind the current holder and runs on
+// the releasing goroutine at ownership transfer. Either way fn receives the
+// previous holder's release stamp and runs exactly once, holding the lease.
+func (l lease) acquireAsync(fn func(vclock.Time)) bool {
+	s := l.s
+	s.mu.Lock()
+	if s.free {
+		s.free = false
+		t := s.stamp
+		s.mu.Unlock()
+		fn(t)
+		return true
+	}
+	s.waiters = append(s.waiters, leaseWaiter{fn: fn})
+	s.mu.Unlock()
+	return false
 }
 
 // release hands the lease back, stamped with the holder's current time.
-func (l lease) release(a *vclock.Actor) { l.q.Push(a.Now()) }
+// With waiters parked, ownership transfers directly to the FIFO head (the
+// lease never goes free in between, preserving fairness).
+func (l lease) release(a *vclock.Actor) {
+	s := l.s
+	s.mu.Lock()
+	s.stamp = a.Now()
+	if len(s.waiters) > 0 {
+		w := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		t := s.stamp
+		s.mu.Unlock()
+		if w.c != nil {
+			w.c <- t
+		} else {
+			w.fn(t)
+		}
+		return
+	}
+	s.free = true
+	s.mu.Unlock()
+}
 
 // msgState is the per-message mutable state of one in-flight message: the
 // Switch step's current TM plus the announce/packed latches. It is owned
@@ -270,7 +344,22 @@ func (cn *Connection) abort(err error) error {
 // message is aborted: the send lease is released and the connection is
 // closed, so the caller simply returns the error — a subsequent EndPacking
 // is a no-op reporting ErrBadState.
+//
+// Pack is a thin wrapper over the asynchronous submission path: it builds
+// an operation descriptor and drives it to completion inline, with the
+// calling actor enlisted as its own conversation's progress thread. The
+// engine workers run the same executor (execPack) for submitted
+// descriptors.
 func (cn *Connection) Pack(data []byte, sm SendMode, rm RecvMode) error {
+	o := getOp()
+	o.kind, o.buf, o.sm, o.rm = OpPack, data, sm, rm
+	err := cn.execOp(o)
+	putOp(o)
+	return err
+}
+
+// execPack is the Pack executor shared by the sync wrapper and the engine.
+func (cn *Connection) execPack(data []byte, sm SendMode, rm RecvMode) error {
 	if !cn.open || !cn.sending {
 		return ErrBadState
 	}
@@ -303,8 +392,21 @@ func (cn *Connection) Pack(data []byte, sm SendMode, rm RecvMode) error {
 // EndPacking finalizes the message (mad_end_packing): every delayed block
 // is flushed to the network. It always releases the send lease, so the
 // error paths (empty message, commit failure) leave the connection ready
-// for the next BeginPacking.
+// for the next BeginPacking. Like Pack it is a wrapper over the shared
+// executor (execEndPacking) that the engine runs for SubmitEnd.
 func (cn *Connection) EndPacking() error {
+	if !cn.sending {
+		// End on the wrong direction must not finalize the receive side.
+		return ErrBadState
+	}
+	o := getOp()
+	o.kind = OpEnd
+	err := cn.execOp(o)
+	putOp(o)
+	return err
+}
+
+func (cn *Connection) execEndPacking() error {
 	if !cn.open || !cn.sending {
 		return ErrBadState
 	}
@@ -342,7 +444,7 @@ func (cn *Connection) EndPacking() error {
 // once pending messages drain, whether the call was already blocked when
 // Close ran or issued afterwards.
 func (c *Channel) BeginUnpacking(a *vclock.Actor) (*Connection, error) {
-	remote, ok := c.incoming.Pop()
+	remote, ok := c.nextAnnouncement()
 	if !ok {
 		return nil, ErrClosed
 	}
@@ -362,7 +464,16 @@ func (c *Channel) BeginUnpacking(a *vclock.Actor) (*Connection, error) {
 // must mirror the sender's Pack exactly. On error the message is aborted —
 // the receive lease is released and the connection closed — mirroring the
 // Pack contract, so the caller returns the error without EndUnpacking.
+// Like Pack it is a wrapper over the shared executor (execUnpack).
 func (cn *Connection) Unpack(dst []byte, sm SendMode, rm RecvMode) error {
+	o := getOp()
+	o.kind, o.buf, o.sm, o.rm = OpUnpack, dst, sm, rm
+	err := cn.execOp(o)
+	putOp(o)
+	return err
+}
+
+func (cn *Connection) execUnpack(dst []byte, sm SendMode, rm RecvMode) error {
 	if !cn.open || cn.sending {
 		return ErrBadState
 	}
@@ -394,6 +505,17 @@ func (cn *Connection) Unpack(dst []byte, sm SendMode, rm RecvMode) error {
 // EndUnpacking finalizes the reception (mad_end_unpacking): every deferred
 // block is extracted and available. It always releases the receive lease.
 func (cn *Connection) EndUnpacking() error {
+	if cn.sending {
+		return ErrBadState
+	}
+	o := getOp()
+	o.kind = OpEnd
+	err := cn.execOp(o)
+	putOp(o)
+	return err
+}
+
+func (cn *Connection) execEndUnpacking() error {
 	if !cn.open || cn.sending {
 		return ErrBadState
 	}

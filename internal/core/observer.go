@@ -26,6 +26,8 @@ type Observer struct {
 	mu       sync.Mutex
 	tms      map[string]*trace.Histogram
 	counters map[string]int64
+	maxes    map[string]int64
+	wraps    map[TM]*obsTM
 }
 
 // NewObserver returns an observer recording spans into rec (which may be
@@ -48,6 +50,37 @@ func (o *Observer) Count(name string, delta int64) {
 	o.mu.Lock()
 	o.counters[name] += delta
 	o.mu.Unlock()
+}
+
+// CountMax records a high-water mark: the named gauge keeps the largest
+// value ever reported. The progress engine uses it for run-queue depth,
+// worker occupancy and CQ backlog. Nil-safe.
+func (o *Observer) CountMax(name string, v int64) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	if o.maxes == nil {
+		o.maxes = make(map[string]int64)
+	}
+	if v > o.maxes[name] {
+		o.maxes[name] = v
+	}
+	o.mu.Unlock()
+}
+
+// Maxes snapshots every high-water-mark gauge.
+func (o *Observer) Maxes() map[string]int64 {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make(map[string]int64, len(o.maxes))
+	for name, n := range o.maxes {
+		out[name] = n
+	}
+	return out
 }
 
 // Counters snapshots every named event counter.
@@ -81,6 +114,11 @@ func (o *Observer) TM(name string) *trace.Histogram {
 	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	return o.tmLocked(name)
+}
+
+// tmLocked is TM's body for callers already holding o.mu.
+func (o *Observer) tmLocked(name string) *trace.Histogram {
 	h := o.tms[name]
 	if h == nil {
 		h = trace.NewHistogram()
@@ -138,6 +176,17 @@ func (o *Observer) Report() string {
 			fmt.Fprintf(&b, "  %-24s %8d\n", n, counters[n])
 		}
 	}
+	if maxes := o.Maxes(); len(maxes) > 0 {
+		names := make([]string, 0, len(maxes))
+		for n := range maxes {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		b.WriteString("high-water marks:\n")
+		for _, n := range names {
+			fmt.Fprintf(&b, "  %-24s %8d\n", n, maxes[n])
+		}
+	}
 	return b.String()
 }
 
@@ -166,7 +215,13 @@ type obsTM struct {
 
 // instrumentTM wraps tm when the channel is observed; the identity
 // function otherwise (including BMMs built over a bare ConnState with no
-// channel, as white-box tests do). Idempotent.
+// channel, as white-box tests do). Idempotent, and canonical per TM
+// identity: the observer caches one decorator per underlying TM, so the
+// sync wrappers and the progress engine — whose workers build BMM
+// instances for the same TMs concurrently — resolve the same decorator
+// and the same pair of histograms. Without the cache each BMM
+// construction would register a fresh decorator around the shared
+// histograms, and a TM reached from both paths would be wrapped twice.
 func instrumentTM(tm TM, cs *ConnState) TM {
 	if cs == nil || cs.ch == nil || cs.ch.obs == nil {
 		return tm
@@ -175,15 +230,25 @@ func instrumentTM(tm TM, cs *ConnState) TM {
 	if _, wrapped := tm.(*obsTM); wrapped {
 		return tm
 	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if w := o.wraps[tm]; w != nil {
+		return w
+	}
+	if o.wraps == nil {
+		o.wraps = make(map[TM]*obsTM)
+	}
 	name := tm.Name()
-	return &obsTM{
+	w := &obsTM{
 		TM:      tm,
 		rec:     o.rec,
-		tx:      o.TM(name + "/tx"),
-		rx:      o.TM(name + "/rx"),
+		tx:      o.tmLocked(name + "/tx"),
+		rx:      o.tmLocked(name + "/rx"),
 		txLabel: "x:" + name,
 		rxLabel: "v:" + name,
 	}
+	o.wraps[tm] = w
+	return w
 }
 
 // observe attributes the virtual time the operation consumed. Zero-width

@@ -12,6 +12,7 @@ import (
 // collective, as in the real library's configuration step.
 type Session struct {
 	world *simnet.World
+	eng   *engine
 
 	mu       sync.Mutex
 	channels map[chanKey]*Channel
@@ -24,10 +25,40 @@ type chanKey struct {
 	rank int
 }
 
-// NewSession starts a session spanning every node of the world.
-func NewSession(w *simnet.World) *Session {
-	return &Session{world: w, channels: make(map[chanKey]*Channel)}
+// SessionSpec configures a session's progress engine (the bounded worker
+// pool driving asynchronous conversations — see SubmitPacking).
+type SessionSpec struct {
+	// Workers is the progress-engine pool size; 0 selects DefaultWorkers.
+	// The pool starts lazily on the first asynchronous submission, so
+	// pure-sync sessions never spawn it. Mixed send/receive asynchronous
+	// workloads need at least 2 workers.
+	Workers int
+	// RecvReserve is the number of workers withheld from receive-side
+	// conversations, guaranteeing senders always find a worker even when
+	// every admitted receive conversation is blocked waiting for wire
+	// data; 0 selects max(1, Workers/8).
+	RecvReserve int
 }
+
+// NewSession starts a session spanning every node of the world, with the
+// default progress-engine configuration.
+func NewSession(w *simnet.World) *Session {
+	return NewSessionWith(w, SessionSpec{})
+}
+
+// NewSessionWith starts a session with an explicit progress-engine
+// configuration.
+func NewSessionWith(w *simnet.World, spec SessionSpec) *Session {
+	s := &Session{world: w, channels: make(map[chanKey]*Channel)}
+	s.eng = newEngine(s, spec)
+	return s
+}
+
+// Shutdown stops the session's progress engine. Conversations still
+// in flight stop making progress, so call it only after collecting every
+// outstanding completion; sessions that never submitted asynchronously
+// need not call it at all (the pool starts lazily).
+func (s *Session) Shutdown() { s.eng.stop() }
 
 // World returns the session's cluster.
 func (s *Session) World() *simnet.World { return s.world }

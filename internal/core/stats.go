@@ -25,6 +25,11 @@ type ChannelStats struct {
 	BytesOut, BytesIn       int64
 	Commits, Checkouts      int64 // Switch-step flushes (TM changes)
 	TMBlocks                map[string]int64
+
+	// Asynchronous submission-path accounting: descriptors submitted and
+	// completed on this channel's conversations, and how many completed
+	// with an error. Sync wrapper traffic does not count here.
+	AsyncSubmitted, AsyncCompleted, AsyncErrors int64
 }
 
 // String renders the snapshot compactly.
@@ -34,10 +39,15 @@ func (s ChannelStats) String() string {
 		tms = append(tms, fmt.Sprintf("%s:%d", name, n))
 	}
 	sort.Strings(tms)
-	return fmt.Sprintf("out %d msgs/%d blocks/%d B, in %d msgs/%d blocks/%d B, switches %d/%d, tm {%s}",
+	out := fmt.Sprintf("out %d msgs/%d blocks/%d B, in %d msgs/%d blocks/%d B, switches %d/%d, tm {%s}",
 		s.MessagesOut, s.BlocksOut, s.BytesOut,
 		s.MessagesIn, s.BlocksIn, s.BytesIn,
 		s.Commits, s.Checkouts, strings.Join(tms, " "))
+	if s.AsyncSubmitted > 0 {
+		out += fmt.Sprintf(", async %d/%d ops (%d errors)",
+			s.AsyncCompleted, s.AsyncSubmitted, s.AsyncErrors)
+	}
+	return out
 }
 
 // chanStats is the channel's live accounting. Many actors mutate it
@@ -53,6 +63,8 @@ type chanStats struct {
 	blocksOut, blocksIn     atomic.Int64
 	bytesOut, bytesIn       atomic.Int64
 	commits, checkouts      atomic.Int64
+
+	asyncSubmitted, asyncCompleted, asyncErrors atomic.Int64
 
 	tmBlocks map[string]*atomic.Int64 // read-only after registerTMs
 
@@ -100,6 +112,10 @@ func (c *Channel) Stats() ChannelStats {
 		BytesIn:     c.stats.bytesIn.Load(),
 		Commits:     c.stats.commits.Load(),
 		Checkouts:   c.stats.checkouts.Load(),
+
+		AsyncSubmitted: c.stats.asyncSubmitted.Load(),
+		AsyncCompleted: c.stats.asyncCompleted.Load(),
+		AsyncErrors:    c.stats.asyncErrors.Load(),
 	}
 	out.TMBlocks = make(map[string]int64, len(c.stats.tmBlocks))
 	for k, ctr := range c.stats.tmBlocks {

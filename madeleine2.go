@@ -64,6 +64,44 @@ type (
 	RecvMode = core.RecvMode
 )
 
+// Asynchronous submission interface: non-blocking Submit* calls backed by
+// the session's bounded progress engine, with completion queues. The sync
+// Pack/Unpack API above is a thin wrapper over the same machinery.
+type (
+	// SessionSpec configures the session's progress engine.
+	SessionSpec = core.SessionSpec
+	// AsyncMsg is one asynchronous conversation (the Submit-side analog
+	// of a Connection).
+	AsyncMsg = core.AsyncMsg
+	// Request is the caller's handle on one submitted operation.
+	Request = core.Request
+	// Completion reports the outcome of one submitted operation.
+	Completion = core.Completion
+	// CQ is a completion queue with poll (Poll/Wait) and callback
+	// (OnCompletion) delivery.
+	CQ = core.CQ
+	// OpKind discriminates submitted operations (pack/unpack/end).
+	OpKind = core.OpKind
+)
+
+// Operation kinds of the asynchronous interface.
+const (
+	OpPack   = core.OpPack
+	OpUnpack = core.OpUnpack
+	OpEnd    = core.OpEnd
+)
+
+// DefaultWorkers is the progress-engine pool size when SessionSpec.Workers
+// is zero.
+const DefaultWorkers = core.DefaultWorkers
+
+// NewSessionWith starts a session with an explicit progress-engine
+// configuration.
+func NewSessionWith(w *World, spec SessionSpec) *Session { return core.NewSessionWith(w, spec) }
+
+// NewCQ builds an empty completion queue in poll mode.
+func NewCQ() *CQ { return core.NewCQ() }
+
 // Simulated cluster types.
 type (
 	// World is the simulated cluster: nodes, adapters, fabrics.
