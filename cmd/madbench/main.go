@@ -11,6 +11,7 @@
 //	madbench -markdown X.md   # also write the EXPERIMENTS.md content
 //	madbench -json out.json   # also write the results as JSON
 //	madbench -trace           # traced representative workload afterwards
+//	madbench -metrics METRICS_bench.json   # metrics-plane snapshot artifact
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 	"madeleine2/internal/bench"
 	"madeleine2/internal/core"
 	"madeleine2/internal/model"
+	"madeleine2/internal/simnet"
 	"madeleine2/internal/trace"
 	"madeleine2/internal/vclock"
 )
@@ -40,6 +42,7 @@ func main() {
 	plot := flag.Bool("plot", false, "render each figure as an ASCII chart too")
 	showTrace := flag.Bool("trace", false, "run a traced representative workload afterwards: ASCII timeline + per-TM latency histograms")
 	traceJSON := flag.String("trace-json", "", "with -trace, also write a Chrome trace-event JSON file")
+	metricsOut := flag.String("metrics", "", "run an instrumented lossy-forwarding workload and write its metrics snapshot as JSON to this file")
 	flag.Parse()
 
 	var results []bench.Result
@@ -131,6 +134,46 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *metricsOut != "" {
+		if err := metricsSnapshot(*metricsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "madbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// metricsSnapshot runs a representative instrumented workload — a
+// reliable SCI→Myrinet forwarded stream over a lossy fabric — and writes
+// the session registry's snapshot as JSON, so CI can archive the metrics
+// plane's view of a run next to the BENCH_*.json artifacts.
+func metricsSnapshot(path string) error {
+	plan := &simnet.FaultPlan{Seed: 7, Corrupt: 0.01, Drop: 0.01}
+	vcs, err := bench.LossyHetVC(bench.NextName("metrics"), 4<<10, plan, nil, nil)
+	if err != nil {
+		return err
+	}
+	defer bench.CloseVCs(vcs)
+	if _, err := bench.ForwardedStream(vcs, 0, 4, 256<<10); err != nil {
+		return err
+	}
+	var sess *core.Session
+	for _, v := range vcs {
+		sess = v.Session()
+		break
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := sess.Metrics().Snapshot().JSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
 }
 
 // parseRails parses the -rails flag's comma-separated rail counts.

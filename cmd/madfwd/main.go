@@ -10,16 +10,20 @@
 //	madfwd -mtu 512 -fault-corrupt 0.01 -fault-drop 0.01 -trace
 //	                            # hostile fabric: reliable mode + counters
 //	madfwd -rails 2             # stripe both segments across two adapters
+//	madfwd -fault-drop 0.02 -metrics-addr 127.0.0.1:9109 -metrics-hold 30s
+//	                            # expose live counters for madtop / Prometheus
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"madeleine2/internal/bench"
 	"madeleine2/internal/core"
 	"madeleine2/internal/fwd"
+	"madeleine2/internal/metrics"
 	"madeleine2/internal/simnet"
 	"madeleine2/internal/trace"
 	"madeleine2/internal/vclock"
@@ -43,6 +47,8 @@ func main() {
 	retries := flag.Int("retries", 0, "reliable mode: max retransmits per packet (0 = default)")
 	rails := flag.Int("rails", 1, "adapters per segment: >1 stripes each segment across that many rails")
 	stripeSize := flag.Int("stripe-size", 0, "rail stripe chunk in bytes (0 = mtu/2, so forwarded packets actually stripe)")
+	metricsAddr := flag.String("metrics-addr", "", "serve the session's metrics registry over HTTP on this address (e.g. 127.0.0.1:0)")
+	metricsHold := flag.Duration("metrics-hold", 0, "with -metrics-addr, keep the endpoint up this long after the run (0 = close immediately)")
 	flag.Parse()
 
 	if *rails < 1 {
@@ -83,6 +89,27 @@ func main() {
 	}
 	defer bench.CloseVCs(vcs)
 
+	var sess *core.Session
+	for _, v := range vcs {
+		sess = v.Session()
+		break
+	}
+	if *metricsAddr != "" {
+		srv, err := metrics.Serve(sess.Metrics(), *metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "madfwd: metrics endpoint: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("madfwd: metrics at %s/metrics (Prometheus) and /metrics.json\n", srv.URL())
+		if *metricsHold > 0 {
+			defer func() {
+				fmt.Printf("madfwd: holding metrics endpoint for %v (point madtop at %s)\n", *metricsHold, srv.URL())
+				time.Sleep(*metricsHold)
+			}()
+		}
+	}
+
 	src, dst, dir := 0, 4, "SCI→Myrinet"
 	if *reverse {
 		src, dst, dir = 4, 0, "Myrinet→SCI"
@@ -102,27 +129,18 @@ func main() {
 	}
 	fmt.Printf("  steady one-way: %v  →  %.1f MB/s\n", t, vclock.MBps(*msg, t))
 	if hostile {
-		var rs fwd.RelStats
-		for _, v := range vcs {
-			rs.Add(v.RelStats())
-		}
+		// Every reliability counter and injected fault publishes into the
+		// session registry, so one snapshot covers all ranks and adapters.
+		snap := sess.Metrics().Snapshot()
+		c := func(name string) int64 { v, _ := snap.Counter(name); return v }
 		fmt.Printf("  reliability: %d packets, %d retransmits, %d acks, %d nacks (%d damaged), %d dup-suppressed, %d backoffs\n",
-			rs.Packets, rs.Retransmits, rs.Acks, rs.Nacks, rs.CtlDamaged, rs.DupSuppress, rs.Backoffs)
+			c("fwd/rel/packet"), c("fwd/rel/retransmit"), c("fwd/rel/ack"), c("fwd/rel/nack"),
+			c("fwd/rel/ctl-damaged"), c("fwd/rel/dup-suppressed"), c("fwd/rel/backoff"))
 		fmt.Printf("  drops: header %d, len %d, crc %d, route %d, closed %d\n",
-			rs.DropHeader, rs.DropLen, rs.DropCRC, rs.DropRoute, rs.DropClosed)
+			c("fwd/drop/header"), c("fwd/drop/len"), c("fwd/drop/crc"), c("fwd/drop/route"), c("fwd/drop/closed"))
 		if plan != nil {
-			var fs simnet.FaultStats
-			for _, v := range vcs {
-				for _, a := range v.Session().World().Adapters() {
-					s := a.FaultStats()
-					fs.Corrupted += s.Corrupted
-					fs.Dropped += s.Dropped
-					fs.Delayed += s.Delayed
-				}
-				break // one handle suffices: the world is shared
-			}
 			fmt.Printf("  faults injected: %d corrupted, %d dropped, %d delayed\n",
-				fs.Corrupted, fs.Dropped, fs.Delayed)
+				c("fault/corrupted"), c("fault/dropped"), c("fault/delayed"))
 		}
 	}
 	if obs != nil {

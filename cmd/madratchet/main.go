@@ -12,7 +12,10 @@
 // A missing or empty baseline is not an error — the first run of a new
 // figure just seeds the next run's baseline — so the tool warns and exits
 // zero. Only a matched (figure, series, point) or (figure, anchor) pair
-// that got worse fails the build.
+// that got worse fails the build. The inverse gap — a baseline series or
+// anchor absent from the NEW run — is warned about loudly (it can never
+// regress, so it would otherwise pass forever) and fails the build when
+// -strict is set.
 package main
 
 import (
@@ -29,6 +32,7 @@ func main() {
 	oldPath := flag.String("old", "", "baseline: a madbench JSON file or a directory of them")
 	newPath := flag.String("new", "", "current run: a madbench JSON file or a directory of them")
 	tol := flag.Float64("tol", bench.DefaultTolerance, "relative regression tolerance")
+	strict := flag.Bool("strict", false, "fail when a baseline series or anchor is missing from the new run")
 	flag.Parse()
 	if *oldPath == "" || *newPath == "" {
 		fmt.Fprintln(os.Stderr, "madratchet: both -old and -new are required")
@@ -52,8 +56,20 @@ func main() {
 		os.Exit(2)
 	}
 
+	// A measurement that vanished from the new run can never regress, so
+	// it would pass silently forever. Shout about it; under -strict it is
+	// as fatal as a regression.
+	missing := bench.Missing(oldRes, newRes)
+	for _, m := range missing {
+		fmt.Fprintf(os.Stderr, "madratchet: WARNING: baseline %s is missing from the new run — it is NOT being ratcheted\n", m)
+	}
+
 	regs := bench.Ratchet(oldRes, newRes, *tol)
 	if len(regs) == 0 {
+		if len(missing) > 0 && *strict {
+			fmt.Fprintf(os.Stderr, "madratchet: %d baseline measurement(s) missing and -strict is set\n", len(missing))
+			os.Exit(1)
+		}
 		fmt.Printf("madratchet: no regressions beyond %.0f%% across %d baseline results\n",
 			*tol*100, len(oldRes))
 		return

@@ -1,0 +1,122 @@
+// Command madtop is the metrics plane's live terminal viewer: it polls a
+// session's /metrics.json endpoint (madeleine2.ServeMetrics, or madfwd's
+// -metrics-addr flag) and redraws a top-style table of every counter with
+// its rate over the last interval, plus gauges and latency histograms.
+//
+// Usage:
+//
+//	madtop                               # watch http://127.0.0.1:9109
+//	madtop -url http://127.0.0.1:40613   # the port ServeMetrics reported
+//	madtop -interval 500ms -count 20     # 20 refreshes, then exit
+//	madtop -once                         # one snapshot, no screen control
+//
+// Rates are computed with Snapshot.Delta between consecutive polls, so a
+// counter that stops moving reads 0/s even while its total stays up.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"madeleine2/internal/metrics"
+)
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:9109", "metrics endpoint base URL")
+	interval := flag.Duration("interval", 2*time.Second, "poll period")
+	count := flag.Int("count", 0, "exit after this many refreshes (0 = run until killed)")
+	once := flag.Bool("once", false, "print one snapshot and exit (no rates, no screen clearing)")
+	flag.Parse()
+	if *interval <= 0 {
+		fmt.Fprintln(os.Stderr, "madtop: -interval must be positive")
+		os.Exit(2)
+	}
+
+	if *once {
+		snap, err := fetch(*url)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "madtop: %v\n", err)
+			os.Exit(1)
+		}
+		render(os.Stdout, *url, snap, metrics.Snapshot{}, 0, false)
+		return
+	}
+
+	var prev metrics.Snapshot
+	havePrev := false
+	for n := 0; *count == 0 || n < *count; n++ {
+		snap, err := fetch(*url)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "madtop: %v\n", err)
+			os.Exit(1)
+		}
+		// Clear and home between refreshes, like top.
+		fmt.Print("\033[H\033[2J")
+		elapsed := time.Duration(0)
+		if havePrev {
+			elapsed = *interval
+		}
+		render(os.Stdout, *url, snap, prev, elapsed, havePrev)
+		prev, havePrev = snap, true
+		if *count != 0 && n == *count-1 {
+			break
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// fetch pulls and parses one JSON snapshot.
+func fetch(base string) (metrics.Snapshot, error) {
+	resp, err := http.Get(base + "/metrics.json")
+	if err != nil {
+		return metrics.Snapshot{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return metrics.Snapshot{}, fmt.Errorf("%s/metrics.json: %s: %s", base, resp.Status, body)
+	}
+	return metrics.ParseSnapshot(resp.Body)
+}
+
+// render redraws one refresh: counters with totals and rates, gauges,
+// histograms. Without a previous snapshot the rate column reads "-".
+func render(w io.Writer, url string, snap, prev metrics.Snapshot, elapsed time.Duration, havePrev bool) {
+	fmt.Fprintf(w, "madtop — %s — %d counters, %d gauges, %d histograms\n\n",
+		url, len(snap.Counters), len(snap.Gauges), len(snap.Hists))
+
+	delta := metrics.Snapshot{}
+	if havePrev && elapsed > 0 {
+		delta = snap.Delta(prev)
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "COUNTER\tTOTAL\tRATE")
+	for _, c := range snap.Counters {
+		rate := "-"
+		if havePrev && elapsed > 0 {
+			d, _ := delta.Counter(c.Name)
+			rate = fmt.Sprintf("%.1f/s", float64(d)/elapsed.Seconds())
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%s\n", c.Name, c.Value, rate)
+	}
+	if len(snap.Gauges) > 0 {
+		fmt.Fprintln(tw, "\t\t")
+		fmt.Fprintln(tw, "GAUGE\tVALUE\t")
+		for _, g := range snap.Gauges {
+			fmt.Fprintf(tw, "%s\t%d\t\n", g.Name, g.Value)
+		}
+	}
+	if len(snap.Hists) > 0 {
+		fmt.Fprintln(tw, "\t\t")
+		fmt.Fprintln(tw, "HISTOGRAM\tCOUNT\tP50 / P99")
+		for _, h := range snap.Hists {
+			fmt.Fprintf(tw, "%s\t%d\t%v / %v\n", h.Name, h.Count, h.P50, h.P99)
+		}
+	}
+	tw.Flush()
+}

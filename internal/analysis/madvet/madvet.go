@@ -9,6 +9,7 @@
 //	virtualtime  no real clock in internal/ packages (vclock only)
 //	detrand      no global or time-seeded math/rand outside tests
 //	tmident      TM wrapping only at the observer chokepoint
+//	obsnames     metric names follow layer/subsystem/name (metrics.CheckName)
 //
 // Each analyzer matches the library's API shapes structurally (package
 // named "core", method names, field names), so the analysistest fixtures
@@ -32,6 +33,7 @@ var Analyzers = []*analysis.Analyzer{
 	VirtualTime,
 	DetRand,
 	TMIdent,
+	ObsNames,
 }
 
 // isCoreMethod reports whether the call is a method call named name whose

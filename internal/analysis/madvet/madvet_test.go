@@ -43,6 +43,10 @@ func TestDetRand(t *testing.T) {
 	analysistest.Run(t, testdata(t), madvet.DetRand, "detrand")
 }
 
+func TestObsNames(t *testing.T) {
+	analysistest.Run(t, testdata(t), madvet.ObsNames, "obsnames", "fwd")
+}
+
 func TestTMIdent(t *testing.T) {
 	analysistest.Run(t, testdata(t), madvet.TMIdent, "tmident", "core")
 }

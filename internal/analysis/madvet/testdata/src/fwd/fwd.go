@@ -1,0 +1,22 @@
+// Package fwd stubs the reliability-counter mirror for the obsnames
+// fixtures: VC.count is the fwd layer's internal chokepoint, so its call
+// sites live in-package.
+package fwd
+
+import "sync/atomic"
+
+type VC struct{}
+
+func (v *VC) count(name string, c *atomic.Int64) { c.Add(1) }
+
+var ctr atomic.Int64
+
+func goodCounts(v *VC) {
+	v.count("fwd/rel/retransmit", &ctr)
+	v.count("fwd/drop/header", &ctr)
+}
+
+func badCounts(v *VC) {
+	v.count("retransmits", &ctr) // want `has 1 components`
+	v.count("fwd/Rel/ack", &ctr) // want `must match`
+}

@@ -1,0 +1,20 @@
+// Package metrics stubs the registry surface for the obsnames fixtures:
+// the analyzer matches Registry.Counter/Gauge/Histogram structurally by
+// package, receiver and method name.
+package metrics
+
+type Counter struct{}
+
+type Gauge struct{}
+
+type Histogram struct{}
+
+type Registry struct{}
+
+func (r *Registry) Counter(name string) *Counter     { return nil }
+func (r *Registry) Gauge(name string) *Gauge         { return nil }
+func (r *Registry) Histogram(name string) *Histogram { return nil }
+
+// Clean mirrors the real sanitizer's signature so fixtures can model the
+// dynamic-name escape hatch.
+func Clean(s string) string { return s }

@@ -174,6 +174,27 @@ func TestAsyncUnderFaults(t *testing.T) {
 		t.Errorf("a ~20%% lossy fabric produced zero retransmits: %+v", rs)
 	}
 
+	// The metrics plane saw the burst: the completion queues backed up,
+	// the engine's run queue filled and workers ran concurrently — the
+	// high-water gauges publish through Session.Metrics — and the
+	// registry's reliability mirror agrees with RelStats.
+	snap := sess.Metrics().Snapshot()
+	for _, g := range []string{"async/cq-depth-max", "async/runq-max", "async/occupancy-max"} {
+		v, ok := snap.Gauge(g)
+		if !ok || v <= 0 {
+			t.Errorf("gauge %s = %d (present %v), want > 0", g, v, ok)
+		}
+	}
+	if sub, _ := snap.Counter("async/submitted"); sub < 4*conversations {
+		t.Errorf("async/submitted = %d, want >= %d", sub, 4*conversations)
+	}
+	if rel, _ := snap.Counter("fwd/rel/retransmit"); rel != rs.Retransmits {
+		t.Errorf("registry fwd/rel/retransmit = %d, RelStats says %d", rel, rs.Retransmits)
+	}
+	if inj, _ := snap.Counter("fault/dropped"); inj == 0 {
+		t.Error("fault/dropped = 0: the world fault collector is not publishing")
+	}
+
 	// Error completions in sequence order on a channel closed with
 	// operations pending, and no lease leak afterwards.
 	dying, err := sess.NewChannel(core.ChannelSpec{Name: NextName("async-dying"), Driver: "tcp", Nodes: []int{0, 1}})

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 )
 
@@ -112,6 +113,39 @@ func Ratchet(oldRes, newRes []Result, tol float64) []Regression {
 		}
 	}
 	return regs
+}
+
+// Missing reports every series and anchor present in the baseline but
+// absent from the new run, as sorted human-readable keys. A vanished
+// measurement is invisible to Ratchet — only matched pairs can regress —
+// so a figure that silently stops being produced would otherwise read as
+// a pass forever. Callers should at least warn; strict pipelines fail.
+func Missing(oldRes, newRes []Result) []string {
+	newSeries := map[string]bool{}
+	newAnchors := map[string]bool{}
+	for _, r := range newRes {
+		for _, s := range r.Series {
+			newSeries[r.ID+"/"+s.Name] = true
+		}
+		for _, a := range r.Anchors {
+			newAnchors[r.ID+"/"+a.Name] = true
+		}
+	}
+	var missing []string
+	for _, r := range oldRes {
+		for _, s := range r.Series {
+			if key := r.ID + "/" + s.Name; !newSeries[key] {
+				missing = append(missing, "series "+key)
+			}
+		}
+		for _, a := range r.Anchors {
+			if key := r.ID + "/" + a.Name; !newAnchors[key] {
+				missing = append(missing, "anchor "+key)
+			}
+		}
+	}
+	sort.Strings(missing)
+	return missing
 }
 
 // LoadResults reads one madbench -json output file.

@@ -109,3 +109,44 @@ func TestLoadResultsRoundTrip(t *testing.T) {
 		t.Fatalf("OneWay did not survive JSON: %v", got[0].Series[0].Points[1])
 	}
 }
+
+func TestMissingReportsVanishedMeasurements(t *testing.T) {
+	base := ratchetBaseline()
+	// Identical runs: nothing is missing.
+	if m := Missing(base, ratchetBaseline()); len(m) != 0 {
+		t.Fatalf("identical runs report missing: %v", m)
+	}
+
+	// Drop the latency series and one anchor from the new run: both must
+	// surface, sorted, under their kind prefix.
+	cur := ratchetBaseline()
+	cur[0].Series = nil
+	cur[0].Anchors = cur[0].Anchors[:1]
+	m := Missing(base, cur)
+	want := []string{
+		"anchor fig4/hand-off speedup",
+		"anchor fig4/minimal latency",
+		"series fig4/latency",
+	}
+	if len(m) != len(want) {
+		t.Fatalf("got %d missing, want %d: %v", len(m), len(want), m)
+	}
+	for i := range want {
+		if m[i] != want[i] {
+			t.Fatalf("missing[%d] = %q, want %q", i, m[i], want[i])
+		}
+	}
+
+	// A vanished measurement is invisible to the ratchet itself — that is
+	// exactly why Missing exists.
+	if regs := Ratchet(base, cur, 0); len(regs) != 0 {
+		t.Fatalf("ratchet flagged vanished measurements: %v", regs)
+	}
+
+	// New measurements appearing is not a gap.
+	grown := ratchetBaseline()
+	grown[0].Anchors = append(grown[0].Anchors, Anchor{Name: "extra", Measured: 1, Unit: "µs"})
+	if m := Missing(base, grown); len(m) != 0 {
+		t.Fatalf("grown run reports missing: %v", m)
+	}
+}

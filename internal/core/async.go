@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"madeleine2/internal/metrics"
 	"madeleine2/internal/simnet"
 	"madeleine2/internal/vclock"
 )
@@ -284,7 +285,7 @@ func (c *Channel) SubmitPacking(remote int, cq *CQ) (*AsyncMsg, error) {
 		am.bind(cn)
 	})
 	if !granted {
-		c.obs.Count("async/parked-lease", 1)
+		c.met.parked.Add(1)
 	}
 	return am, nil
 }
@@ -319,7 +320,7 @@ func (c *Channel) SubmitUnpacking(cq *CQ) *AsyncMsg {
 			am.bind(cn)
 		})
 		if !granted {
-			c.obs.Count("async/parked-lease", 1)
+			c.met.parked.Add(1)
 		}
 	})
 	return am
@@ -369,7 +370,7 @@ func (am *AsyncMsg) SubmitEnd() *Request {
 
 func (am *AsyncMsg) submit(k OpKind, buf []byte, sm SendMode, rm RecvMode) *Request {
 	am.ch.stats.asyncSubmitted.Add(1)
-	am.ch.obs.Count("async/submitted", 1)
+	am.ch.met.submitted.Add(1)
 	am.mu.Lock()
 	am.seq++
 	r := &Request{am: am, kind: k, seq: am.seq}
@@ -412,9 +413,9 @@ func (am *AsyncMsg) deliver(c Completion) {
 	am.ch.stats.asyncCompleted.Add(1)
 	if c.Err != nil {
 		am.ch.stats.asyncErrors.Add(1)
-		am.ch.obs.Count("async/errors", 1)
+		am.ch.met.errors.Add(1)
 	}
-	am.ch.obs.Count("async/completed", 1)
+	am.ch.met.completed.Add(1)
 	if r := c.Req; r != nil {
 		r.comp = c
 		if !r.st.CompareAndSwap(reqPending, reqDone) {
@@ -423,7 +424,7 @@ func (am *AsyncMsg) deliver(c Completion) {
 	}
 	if am.cq != nil {
 		am.cq.post(c)
-		am.ch.obs.CountMax("async/cq-depth-max", int64(am.cq.Len()))
+		am.ch.met.cqDepth.SetMax(int64(am.cq.Len()))
 	}
 }
 
@@ -557,6 +558,12 @@ type engine struct {
 	workers int
 	recvCap int
 
+	// Always-on scheduler gauges, resolved from the session registry on
+	// first use (the registry may not exist yet when the engine is built).
+	gOnce sync.Once
+	gRunq *metrics.Gauge
+	gOcc  *metrics.Gauge
+
 	mu         sync.Mutex
 	cond       *sync.Cond
 	sendq      []*AsyncMsg
@@ -585,6 +592,15 @@ func newEngine(s *Session, spec SessionSpec) *engine {
 	return e
 }
 
+// gauges resolves the scheduler's high-water gauges once.
+func (e *engine) gauges() {
+	e.gOnce.Do(func() {
+		reg := e.sess.Metrics()
+		e.gRunq = reg.Gauge("async/runq-max")
+		e.gOcc = reg.Gauge("async/occupancy-max")
+	})
+}
+
 // enqueue schedules a runnable conversation, starting the worker pool on
 // first use so pure-sync sessions never spawn it.
 func (e *engine) enqueue(am *AsyncMsg) {
@@ -603,7 +619,8 @@ func (e *engine) enqueue(am *AsyncMsg) {
 	depth := int64(len(e.sendq) + len(e.recvq))
 	e.mu.Unlock()
 	e.cond.Broadcast()
-	e.sess.Observer().CountMax("async/runq-max", depth)
+	e.gauges()
+	e.gRunq.SetMax(depth)
 }
 
 func (e *engine) worker() {
@@ -631,7 +648,8 @@ func (e *engine) worker() {
 		e.busy++
 		occ := int64(e.busy)
 		e.mu.Unlock()
-		e.sess.Observer().CountMax("async/occupancy-max", occ)
+		e.gauges()
+		e.gOcc.SetMax(occ)
 
 		isRecv := !am.sending
 		e.drain(am)

@@ -36,6 +36,7 @@ type Channel struct {
 
 	conns map[int]*ConnState
 	stats chanStats
+	met   chanMetrics // always-on registry handles, cached at creation
 
 	// amux, once started, owns incoming.Pop and fans announcements out to
 	// sync and async receivers in registration order. It is nil until the

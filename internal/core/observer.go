@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 
+	"madeleine2/internal/metrics"
 	"madeleine2/internal/trace"
 	"madeleine2/internal/vclock"
 )
@@ -17,39 +18,45 @@ import (
 // per-TM latency histograms aggregated across every channel of the
 // session. Install it with Session.SetObserver before creating channels.
 //
-// A nil *Observer is the no-op fast path: channels skip every
-// instrumentation hook, so an unobserved session pays nothing. A non-nil
-// Observer with a nil Recorder keeps only the histograms.
+// Counters, gauges and histograms live in a metrics.Registry: installing
+// the observer makes its registry the session's (Session.Metrics), so the
+// always-on plane and the observer report from the same values.
+//
+// A nil *Observer is the no-op fast path: channels skip every span
+// instrumentation hook (the always-on metrics then land in the session's
+// base registry). A non-nil Observer with a nil Recorder keeps only the
+// metrics.
 type Observer struct {
 	rec *trace.Recorder
+	reg *metrics.Registry
 
-	mu       sync.Mutex
-	tms      map[string]*trace.Histogram
-	counters map[string]int64
-	maxes    map[string]int64
-	wraps    map[TM]*obsTM
+	mu    sync.Mutex
+	wraps map[TM]*obsTM
 }
 
 // NewObserver returns an observer recording spans into rec (which may be
-// nil to keep only the per-TM histograms).
+// nil to keep only the metrics).
 func NewObserver(rec *trace.Recorder) *Observer {
-	return &Observer{
-		rec:      rec,
-		tms:      make(map[string]*trace.Histogram),
-		counters: make(map[string]int64),
+	return &Observer{rec: rec, reg: metrics.NewRegistry()}
+}
+
+// Metrics exposes the observer's registry; nil-safe.
+func (o *Observer) Metrics() *metrics.Registry {
+	if o == nil {
+		return nil
 	}
+	return o.reg
 }
 
 // Count bumps a named event counter — the sink layers use for discrete
 // reliability events (retransmits, drops by cause, duplicate
 // suppressions) that have no duration to record as a span. Nil-safe.
+// Hot paths should resolve Metrics().Counter once and cache it.
 func (o *Observer) Count(name string, delta int64) {
 	if o == nil {
 		return
 	}
-	o.mu.Lock()
-	o.counters[name] += delta
-	o.mu.Unlock()
+	o.reg.Counter(name).Add(delta)
 }
 
 // CountMax records a high-water mark: the named gauge keeps the largest
@@ -59,40 +66,35 @@ func (o *Observer) CountMax(name string, v int64) {
 	if o == nil {
 		return
 	}
-	o.mu.Lock()
-	if o.maxes == nil {
-		o.maxes = make(map[string]int64)
-	}
-	if v > o.maxes[name] {
-		o.maxes[name] = v
-	}
-	o.mu.Unlock()
+	o.reg.Gauge(name).SetMax(v)
 }
 
-// Maxes snapshots every high-water-mark gauge.
+// Maxes snapshots every high-water-mark gauge that has moved.
 func (o *Observer) Maxes() map[string]int64 {
 	if o == nil {
 		return nil
 	}
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	out := make(map[string]int64, len(o.maxes))
-	for name, n := range o.maxes {
-		out[name] = n
+	out := make(map[string]int64)
+	for _, g := range o.reg.Snapshot().Gauges {
+		if g.Value != 0 {
+			out[g.Name] = g.Value
+		}
 	}
 	return out
 }
 
-// Counters snapshots every named event counter.
+// Counters snapshots every named event counter that has fired, including
+// collector-fed ones (fault/*, chan/*) the registry pulls at snapshot
+// time.
 func (o *Observer) Counters() map[string]int64 {
 	if o == nil {
 		return nil
 	}
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	out := make(map[string]int64, len(o.counters))
-	for name, n := range o.counters {
-		out[name] = n
+	out := make(map[string]int64)
+	for _, c := range o.reg.Snapshot().Counters {
+		if c.Value != 0 {
+			out[c.Name] = c.Value
+		}
 	}
 	return out
 }
@@ -112,34 +114,18 @@ func (o *Observer) TM(name string) *trace.Histogram {
 	if o == nil {
 		return nil
 	}
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	return o.tmLocked(name)
+	return o.reg.Histogram(name)
 }
 
-// tmLocked is TM's body for callers already holding o.mu.
-func (o *Observer) tmLocked(name string) *trace.Histogram {
-	h := o.tms[name]
-	if h == nil {
-		h = trace.NewHistogram()
-		o.tms[name] = h
-	}
-	return h
-}
-
-// TMLatencies snapshots every per-TM histogram with at least one
-// observation.
+// TMLatencies snapshots every histogram with at least one observation.
 func (o *Observer) TMLatencies() map[string]trace.HistSnapshot {
 	if o == nil {
 		return nil
 	}
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	out := make(map[string]trace.HistSnapshot, len(o.tms))
-	for name, h := range o.tms {
-		if s := h.Snapshot(); s.Count > 0 {
-			out[name] = s
-		}
+	hists := o.reg.Snapshot().Hists
+	out := make(map[string]trace.HistSnapshot, len(hists))
+	for _, h := range hists {
+		out[h.Name] = h.HistSnapshot
 	}
 	return out
 }
@@ -242,8 +228,8 @@ func instrumentTM(tm TM, cs *ConnState) TM {
 	w := &obsTM{
 		TM:      tm,
 		rec:     o.rec,
-		tx:      o.tmLocked(name + "/tx"),
-		rx:      o.tmLocked(name + "/rx"),
+		tx:      o.reg.Histogram(name + "/tx"),
+		rx:      o.reg.Histogram(name + "/rx"),
 		txLabel: "x:" + name,
 		rxLabel: "v:" + name,
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"madeleine2/internal/metrics"
 	"madeleine2/internal/simnet"
 )
 
@@ -18,6 +19,8 @@ type Session struct {
 	channels map[chanKey]*Channel
 	nextID   int
 	obs      *Observer
+	base     *metrics.Registry // session registry when no observer is installed
+	faultReg bool              // world fault collector registered
 }
 
 type chanKey struct {
@@ -80,6 +83,28 @@ func (s *Session) Observer() *Observer {
 	return s.obs
 }
 
+// Metrics returns the session's always-on metrics registry: the
+// observer's when one is installed, a lazily-created base registry
+// otherwise — so the metrics plane exists whether or not the session is
+// traced, and an installed observer reports from the same values the
+// exposition endpoint serves. Like SetObserver, install the observer
+// before creating channels: channels cache metric handles at creation.
+func (s *Session) Metrics() *metrics.Registry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.metricsLocked()
+}
+
+func (s *Session) metricsLocked() *metrics.Registry {
+	if s.obs != nil {
+		return s.obs.Metrics()
+	}
+	if s.base == nil {
+		s.base = metrics.NewRegistry()
+	}
+	return s.base
+}
+
 // ChannelSpec describes a channel to create: a closed world of
 // communication bound to one network interface and one adapter (§2.1) —
 // or, with Rails, to several adapters at once (the paper's multi-adapter
@@ -138,6 +163,33 @@ func (s *Session) NewChannel(spec ChannelSpec) (map[int]*Channel, error) {
 	// stay collision-free session-wide.
 	s.nextID += max(1, len(spec.Rails))
 	obs := s.obs
+	reg := s.metricsLocked()
+	if !s.faultReg {
+		// The world's fault injector publishes into the fault/* namespace
+		// by pull: simnet cannot import the registry (layering), so a
+		// collector sums Adapter.FaultStats across the world at snapshot
+		// time. Registered once, with the first channel.
+		s.faultReg = true
+		world := s.world
+		reg.RegisterCollector(func(emit func(string, int64)) {
+			var fs simnet.FaultStats
+			for _, a := range world.Adapters() {
+				st := a.FaultStats()
+				fs.Corrupted += st.Corrupted
+				fs.Dropped += st.Dropped
+				fs.Delayed += st.Delayed
+			}
+			if fs.Corrupted != 0 {
+				emit("fault/corrupted", fs.Corrupted)
+			}
+			if fs.Dropped != 0 {
+				emit("fault/dropped", fs.Dropped)
+			}
+			if fs.Delayed != 0 {
+				emit("fault/delayed", fs.Delayed)
+			}
+		})
+	}
 	s.mu.Unlock()
 
 	members := spec.Nodes
@@ -178,6 +230,7 @@ func (s *Session) NewChannel(spec ChannelSpec) (map[int]*Channel, error) {
 		// Pre-register the PMM's TM names so per-TM accounting is
 		// lock-free once traffic starts.
 		ch.stats.registerTMs(pmm.TMs())
+		ch.bindMetrics(reg)
 		chans[r] = ch
 		s.mu.Lock()
 		if _, dup := s.channels[chanKey{spec.Name, r}]; dup {

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"madeleine2/internal/metrics"
 )
 
 // ChannelStats is a snapshot of a channel's traffic accounting on one
@@ -99,6 +101,45 @@ func (cs *chanStats) packed(tm string, n int) {
 func (cs *chanStats) unpacked(n int) {
 	cs.blocksIn.Add(1)
 	cs.bytesIn.Add(int64(n))
+}
+
+// chanMetrics caches the channel's handles into the session registry so
+// the asynchronous hot paths bump always-on metrics with one atomic add
+// and no map lookup. Handles stay nil on channels built outside
+// Session.NewChannel (white-box tests); a nil handle is a no-op sink.
+type chanMetrics struct {
+	submitted, completed, errors, parked *metrics.Counter
+	cqDepth                              *metrics.Gauge
+}
+
+// bindMetrics resolves the channel's cached handles and registers a
+// collector mapping the channel's live accounting into the
+// chan/<name>/... counter namespace. Per-rank collectors of one channel
+// emit under the same names, so snapshots show cluster-wide totals.
+func (c *Channel) bindMetrics(reg *metrics.Registry) {
+	c.met.submitted = reg.Counter("async/submitted")
+	c.met.completed = reg.Counter("async/completed")
+	c.met.errors = reg.Counter("async/errors")
+	c.met.parked = reg.Counter("async/parked-lease")
+	c.met.cqDepth = reg.Gauge("async/cq-depth-max")
+
+	prefix := "chan/" + metrics.Clean(c.name) + "/"
+	st := &c.stats
+	reg.RegisterCollector(func(emit func(string, int64)) {
+		nz := func(name string, v int64) {
+			if v != 0 {
+				emit(prefix+name, v)
+			}
+		}
+		nz("msgs-out", st.messagesOut.Load())
+		nz("msgs-in", st.messagesIn.Load())
+		nz("blocks-out", st.blocksOut.Load())
+		nz("blocks-in", st.blocksIn.Load())
+		nz("bytes-out", st.bytesOut.Load())
+		nz("bytes-in", st.bytesIn.Load())
+		nz("commits", st.commits.Load())
+		nz("checkouts", st.checkouts.Load())
+	})
 }
 
 // Stats snapshots the channel's accounting.

@@ -57,7 +57,7 @@ func TestCorruptChunkDoesNotPoisonNextMessage(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Strike one ≥100 B transfer: a 512 B payload chunk of the three-packet
-	// message, never the 28 B packet headers.
+	// message, never the 40 B packet headers.
 	gwMyri.CorruptNextMin(100)
 	sent := sendMsg(vcs, 0, 4, pattern(1280, 3))
 
@@ -207,7 +207,7 @@ func TestDamagedVerdictTriggersDupSuppression(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Node 1's first outgoing ≥30 B transfer is the 36 B verdict frame.
+	// Node 1's first outgoing ≥30 B transfer is the 48 B verdict frame.
 	a1.CorruptNextMin(30)
 	oneWay(t, vcs, 0, 1, 100)
 
@@ -238,7 +238,7 @@ func TestRetryExhaustionSurfacesError(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Every ≥100 B transfer out of node 0 is scrambled: all data payloads
-	// die, while the 36 B headers and node 1's verdicts travel clean.
+	// die, while the 48 B headers and node 1's verdicts travel clean.
 	a0.SetFaults(&simnet.FaultPlan{Seed: 11, Drop: 1, MinBytes: 100})
 
 	if err := <-sendMsg(vcs, 0, 1, pattern(256, 9)); err == nil {
@@ -270,8 +270,8 @@ func TestDamagedHeaderFailsHandleGracefully(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Strike the next transfer of any size: the 28 B packet header from
-	// the gateway toward node 4, whose middle byte sits in the Len field.
+	// Strike the next transfer of any size: the 40 B packet header from
+	// the gateway toward node 4, whose middle byte sits in the magic word.
 	gwMyri.CorruptNextMin(1)
 	if err := <-sendMsg(vcs, 0, 4, pattern(256, 4)); err != nil {
 		t.Fatalf("sender: %v", err)

@@ -376,7 +376,7 @@ func TestCorruptionDetectedAtDelivery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// ≥100 bytes targets the 512 B payload, not the 28 B packet header.
+	// ≥100 bytes targets the 512 B payload, not the 40 B packet header.
 	gwMyri.CorruptNextMin(100)
 	go func() {
 		a := vclock.NewActor("src")

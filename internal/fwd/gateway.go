@@ -240,8 +240,9 @@ func (d *daemonState) recvBestEffort(conn *core.Connection, hb []byte) bool {
 		v.count("fwd/relayed-corrupt", &v.ctr.relayedCorrupt)
 	}
 	// The incoming transfer's wire interval: from the header's arrival
-	// through the payload's byte time (the receive side of Fig. 9).
-	v.rec.Record(a.Name(), d.hdrAt, d.hdrAt+d.ch.Link(h.Len).ByteTime(h.Len), "r")
+	// through the payload's byte time (the receive side of Fig. 9),
+	// tagged with the originating trace at this gateway's relay hop.
+	v.rec.RecordT(a.Name(), d.hdrAt, d.hdrAt+d.ch.Link(h.Len).ByteTime(h.Len), "r", h.Trace, h.Hop+1)
 	return p.work.PushIfOpen(workItem{hdr: h, payload: payload, tok: tok, stampIn: a.Now()})
 }
 
@@ -270,7 +271,7 @@ func (d *daemonState) recvReliable(conn *core.Connection, hb []byte) bool {
 		// The retransmit of a packet whose acknowledgment was lost:
 		// suppress the duplicate delivery, acknowledge again.
 		fate = frDup
-		v.count("fwd/dup-suppressed", &v.ctr.dups)
+		v.count("fwd/rel/dup-suppressed", &v.ctr.dups)
 	case h.Dst == v.rank:
 		fate = frDeliver
 	default:
@@ -326,7 +327,7 @@ func (d *daemonState) recvReliable(conn *core.Connection, hb []byte) bool {
 		}
 		d.lastLSeq[prev] = h.LSeq
 	case frForward:
-		v.rec.Record(a.Name(), d.hdrAt, d.hdrAt+d.ch.Link(h.Len).ByteTime(h.Len), "r")
+		v.rec.RecordT(a.Name(), d.hdrAt, d.hdrAt+d.ch.Link(h.Len).ByteTime(h.Len), "r", h.Trace, h.Hop+1)
 		if !p.work.PushIfOpen(workItem{hdr: h, payload: tok.buf[:h.Len], tok: tok, stampIn: a.Now()}) {
 			return false
 		}
@@ -335,7 +336,13 @@ func (d *daemonState) recvReliable(conn *core.Connection, hb []byte) bool {
 	// Exactly one verdict per arrival, after the packet is truly taken
 	// (or refused): an acknowledged packet is never lost to a full
 	// pipeline or a closing stream.
+	vAt := a.Now()
 	v.sendVerdict(a, d.segIdx, prev, fate != frDrop)
+	if fate == frDrop && herr == nil && h.Trace != 0 {
+		// A NACK interrupts a traced message's journey: tag the verdict
+		// send so the merged export shows where the loss was paid.
+		v.rec.RecordT(a.Name(), vAt, a.Now(), "n:nack", h.Trace, h.Hop+1)
+	}
 	return true
 }
 
@@ -355,6 +362,8 @@ func (d *daemonState) deliver(h header, payload []byte, corrupt bool) bool {
 		first:   h.Flags&flagFirst != 0,
 		last:    h.Flags&flagLast != 0,
 		corrupt: corrupt,
+		trace:   h.Trace,
+		hop:     h.Hop + 1, // delivery hop: sorts after every relay
 	}) {
 		v.count("fwd/drop/closed", &v.ctr.dropClosed)
 		return false
@@ -412,13 +421,14 @@ func (p *pipeline) run() {
 			a.Advance(vclock.TimeForBytes(n, model.MadCopyBandwidth))
 		}
 
+		w.hdr.Hop++ // one more relay on the message's journey
 		if err := v.sendPacketOn(p.outSeg, a, v.next[w.hdr.Dst].next, w.hdr, w.payload); err != nil {
 			if !errors.Is(err, core.ErrClosed) {
 				v.fail(fmt.Errorf("fwd pipeline %s: %w", a.Name(), err))
 			}
 			return
 		}
-		v.rec.Record(a.Name(), ready, a.Now(), "s")
+		v.rec.RecordT(a.Name(), ready, a.Now(), "s", w.hdr.Trace, w.hdr.Hop)
 		prevReady, prevSendEnd = ready, a.Now()
 
 		w.tok.stamp = a.Now()

@@ -15,13 +15,17 @@ import (
 
 // hdrSize is the Generic TM's per-packet self-description header: origin,
 // final destination, sequence number, payload length, flags, payload
-// checksum and magic. Within homogeneous Madeleine II messages need no
-// self-description (§2.2); across gateways it is mandatory, because the
-// gateway knows nothing about the messages to expect (§6.1). The checksum
-// is this implementation's integrity guard: simulated interconnects are
-// reliable by construction, so corruption can only mean a bug or an
-// injected fault — either way it must be caught, not forwarded.
-const hdrSize = 28
+// checksum, distributed-trace context and magic. Within homogeneous
+// Madeleine II messages need no self-description (§2.2); across gateways
+// it is mandatory, because the gateway knows nothing about the messages
+// to expect (§6.1). The checksum is this implementation's integrity
+// guard: simulated interconnects are reliable by construction, so
+// corruption can only mean a bug or an injected fault — either way it
+// must be caught, not forwarded. The trace context (message trace ID +
+// hop count, incremented per gateway relay) rides every packet so spans
+// recorded in different clusters stitch into one end-to-end timeline
+// (trace.Merge).
+const hdrSize = 40
 
 // Packet flags.
 const (
@@ -39,6 +43,8 @@ type header struct {
 	Len    int    // payload bytes
 	Flags  uint32
 	CRC    uint32 // payload checksum
+	Trace  uint64 // distributed trace ID of the carried message (0 = untraced)
+	Hop    uint32 // relay count: 0 at the sender, +1 per gateway
 	LSeq   uint32 // link-level sequence (reliable mode only, not in the base encoding)
 }
 
@@ -50,14 +56,20 @@ func (h header) encode() []byte {
 	binary.LittleEndian.PutUint32(b[8:], h.Seq)
 	binary.LittleEndian.PutUint32(b[12:], uint32(h.Len))
 	binary.LittleEndian.PutUint32(b[16:], h.Flags)
-	binary.LittleEndian.PutUint32(b[20:], h.CRC)
-	binary.LittleEndian.PutUint32(b[24:], hdrMagic)
+	binary.LittleEndian.PutUint32(b[20:], hdrMagic)
+	binary.LittleEndian.PutUint32(b[24:], h.CRC)
+	binary.LittleEndian.PutUint64(b[28:], h.Trace)
+	binary.LittleEndian.PutUint32(b[36:], h.Hop)
 	return b
 }
 
 // checksum computes a payload's CRC.
 func checksum(payload []byte) uint32 { return crc32.ChecksumIEEE(payload) }
 
+// hdrMagic sits mid-header (bytes 20-23): a single-byte corruption near
+// the block's center — the common injected-fault shape — must surface as
+// an unambiguous decode failure, never as a plausible field value that
+// desynchronizes a non-reliable receiver.
 const hdrMagic = 0x4d414432 // "MAD2"
 
 // decodeHeader parses and validates a received header block.
@@ -65,8 +77,8 @@ func decodeHeader(b []byte) (header, error) {
 	if len(b) != hdrSize {
 		return header{}, fmt.Errorf("fwd: header block is %d bytes, want %d", len(b), hdrSize)
 	}
-	if binary.LittleEndian.Uint32(b[24:]) != hdrMagic {
-		return header{}, fmt.Errorf("fwd: bad packet magic %#x", binary.LittleEndian.Uint32(b[24:]))
+	if binary.LittleEndian.Uint32(b[20:]) != hdrMagic {
+		return header{}, fmt.Errorf("fwd: bad packet magic %#x", binary.LittleEndian.Uint32(b[20:]))
 	}
 	return header{
 		Origin: int(binary.LittleEndian.Uint32(b[0:])),
@@ -74,14 +86,16 @@ func decodeHeader(b []byte) (header, error) {
 		Seq:    binary.LittleEndian.Uint32(b[8:]),
 		Len:    int(binary.LittleEndian.Uint32(b[12:])),
 		Flags:  binary.LittleEndian.Uint32(b[16:]),
-		CRC:    binary.LittleEndian.Uint32(b[20:]),
+		CRC:    binary.LittleEndian.Uint32(b[24:]),
+		Trace:  binary.LittleEndian.Uint64(b[28:]),
+		Hop:    binary.LittleEndian.Uint32(b[36:]),
 	}, nil
 }
 
 // rhdrSize is the reliable-mode header: the base self-description plus a
 // link-level sequence number (duplicate detection across retransmits) and
 // a checksum over the header bytes themselves, so a damaged header is
-// detected rather than trusted. The base 28-byte encoding stays untouched
+// detected rather than trusted. The base 40-byte encoding stays untouched
 // for non-reliable channels — benchmark parity is a contract.
 const rhdrSize = hdrSize + 8
 

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"madeleine2/internal/core"
+	"madeleine2/internal/metrics"
 	"madeleine2/internal/simnet"
 	"madeleine2/internal/vclock"
 )
@@ -172,12 +173,30 @@ func (s *RelStats) Add(o RelStats) {
 	s.DeliveredCorrupt += o.DeliveredCorrupt
 }
 
-// count bumps a local counter and mirrors it into the session observer
-// (nil-safe) so -trace runs surface the reliability events next to the
-// latency histograms.
+// count bumps a local counter and mirrors it into the session metrics
+// registry, so the reliability events surface in the fwd/* namespace of
+// every exposition path (Observer.Report, the HTTP endpoint, madtop)
+// without bespoke printing. The handle map is read-only after New; a
+// missing name resolves to a nil counter, itself a valid no-op sink.
 func (v *VC) count(name string, c *atomic.Int64) {
 	c.Add(1)
-	v.obs.Count(name, 1)
+	v.met[name].Add(1)
+}
+
+// relMetrics resolves the virtual channel's fixed counter names against
+// the session registry once, so the hot paths pay one atomic add and no
+// map lock per event.
+func relMetrics(reg *metrics.Registry) map[string]*metrics.Counter {
+	m := make(map[string]*metrics.Counter)
+	for _, name := range []string{
+		"fwd/rel/packet", "fwd/rel/retransmit", "fwd/rel/ack", "fwd/rel/nack",
+		"fwd/rel/ctl-damaged", "fwd/rel/backoff", "fwd/rel/dup-suppressed",
+		"fwd/drop/header", "fwd/drop/len", "fwd/drop/crc", "fwd/drop/route",
+		"fwd/drop/closed", "fwd/relayed-corrupt", "fwd/delivered-corrupt",
+	} {
+		m[name] = reg.Counter(name)
+	}
+	return m
 }
 
 // Err reports the VC handle's fatal error: non-nil once retries have been
@@ -223,7 +242,7 @@ func (v *VC) sendReliable(seg int, a *vclock.Actor, next int, h header, payload 
 	}
 	a.Sync(stamp)
 	if a.Now() > t0 {
-		v.rec.Record(a.Name(), t0, a.Now(), "w:lease-link")
+		v.rec.RecordT(a.Name(), t0, a.Now(), "w:lease-link", h.Trace, h.Hop)
 	}
 	defer func() { lt.lease.PushIfOpen(a.Now()) }()
 
@@ -240,13 +259,17 @@ func (v *VC) sendReliable(seg int, a *vclock.Actor, next int, h header, payload 
 	}
 	backoff := v.spec.Backoff
 	for attempt := 0; ; attempt++ {
+		txAt := a.Now()
 		if err := rawSend(v.chans[seg], a, next, hb, wire); err != nil {
 			return err
 		}
 		if attempt == 0 {
-			v.count("fwd/packet", &v.ctr.packets)
+			v.count("fwd/rel/packet", &v.ctr.packets)
 		} else {
-			v.count("fwd/retransmit", &v.ctr.retransmits)
+			v.count("fwd/rel/retransmit", &v.ctr.retransmits)
+			// Retransmissions carry the originating trace ID, so a merged
+			// export shows which message's journey paid the loss.
+			v.rec.RecordT(a.Name(), txAt, a.Now(), "t:retransmit", h.Trace, h.Hop)
 		}
 		vd, ok := lt.verdicts.Pop()
 		if !ok {
@@ -254,13 +277,13 @@ func (v *VC) sendReliable(seg int, a *vclock.Actor, next int, h header, payload 
 		}
 		a.Sync(vd.stamp)
 		if vd.ok {
-			v.count("fwd/ack", &v.ctr.acks)
+			v.count("fwd/rel/ack", &v.ctr.acks)
 			return nil
 		}
 		if vd.damaged {
-			v.count("fwd/ctl-damaged", &v.ctr.ctlDamaged)
+			v.count("fwd/rel/ctl-damaged", &v.ctr.ctlDamaged)
 		} else {
-			v.count("fwd/nack", &v.ctr.nacks)
+			v.count("fwd/rel/nack", &v.ctr.nacks)
 		}
 		if attempt >= v.spec.MaxRetries {
 			err := fmt.Errorf("fwd: %s: packet for %d via %d (link seq %d) unacknowledged after %d retransmits",
@@ -270,8 +293,8 @@ func (v *VC) sendReliable(seg int, a *vclock.Actor, next int, h header, payload 
 		}
 		bt := a.Now()
 		a.Advance(backoff)
-		v.rec.Record(a.Name(), bt, a.Now(), "b:backoff")
-		v.count("fwd/backoff", &v.ctr.backoffs)
+		v.rec.RecordT(a.Name(), bt, a.Now(), "b:backoff", h.Trace, h.Hop)
+		v.count("fwd/rel/backoff", &v.ctr.backoffs)
 		backoff *= 2
 	}
 }

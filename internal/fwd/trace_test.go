@@ -1,0 +1,147 @@
+package fwd
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"madeleine2/internal/core"
+	"madeleine2/internal/simnet"
+	"madeleine2/internal/trace"
+	"madeleine2/internal/vclock"
+)
+
+// TestTraceContextSurvivesRetransmittingHop is the tentpole acceptance
+// check for distributed tracing: on a lossy fabric in reliable mode, one
+// message's trace ID must tie together the sender's pack span, the
+// gateway's relay span (including the retransmission machinery) and the
+// receiver's unpack span — and the merged Chrome export must stitch them
+// into one flow.
+func TestTraceContextSurvivesRetransmittingHop(t *testing.T) {
+	sess := twoClusters(t)
+	rec := trace.New(0)
+	sess.SetObserver(core.NewObserver(rec))
+	plan := &simnet.FaultPlan{Seed: 7, Corrupt: 0.12, Drop: 0.08, MinBytes: 100}
+	for _, a := range sess.World().Adapters() {
+		a.SetFaults(plan)
+	}
+	spec := sciMyriSpec("tracehop", 512)
+	spec.Reliable = true
+	vcs := newVC(t, sess, spec)
+
+	const msgs, size = 8, 2000
+	s, r := vclock.NewActor("ts"), vclock.NewActor("tr")
+	sent := make(chan error, 1)
+	go func() {
+		for i := 0; i < msgs; i++ {
+			conn, err := vcs[0].BeginPacking(s, 4)
+			if err != nil {
+				sent <- err
+				return
+			}
+			if err := conn.Pack(pattern(size, byte(i)), core.SendCheaper, core.ReceiveCheaper); err != nil {
+				sent <- err
+				return
+			}
+			if err := conn.EndPacking(); err != nil {
+				sent <- err
+				return
+			}
+		}
+		sent <- nil
+	}()
+	for i := 0; i < msgs; i++ {
+		conn, err := vcs[4].BeginUnpacking(r)
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		got := make([]byte, size)
+		if err := conn.Unpack(got, core.SendCheaper, core.ReceiveCheaper); err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if err := conn.EndUnpacking(); err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if !bytes.Equal(got, pattern(size, byte(i))) {
+			t.Fatalf("message %d arrived damaged", i)
+		}
+	}
+	if err := <-sent; err != nil {
+		t.Fatalf("sender: %v", err)
+	}
+
+	// Index the recorded spans by trace ID and label prefix.
+	type labels struct {
+		pack, relay, unpack bool
+		maxHop              uint32
+	}
+	byTrace := map[uint64]*labels{}
+	retransmits := map[uint64]int{}
+	for _, sp := range rec.Spans() {
+		if sp.Trace == 0 {
+			continue
+		}
+		l := byTrace[sp.Trace]
+		if l == nil {
+			l = &labels{}
+			byTrace[sp.Trace] = l
+		}
+		l.maxHop = max(l.maxHop, sp.Hop)
+		switch {
+		case strings.HasPrefix(sp.Label, "p:pack"):
+			if sp.Hop != 0 {
+				t.Errorf("pack span of trace %#x at hop %d, want 0", sp.Trace, sp.Hop)
+			}
+			l.pack = true
+		case sp.Label == "r" || sp.Label == "s":
+			if sp.Hop == 0 {
+				t.Errorf("gateway span of trace %#x at hop 0, want >= 1", sp.Trace)
+			}
+			l.relay = true
+		case strings.HasPrefix(sp.Label, "u:unpack"):
+			l.unpack = true
+		case strings.HasPrefix(sp.Label, "t:retransmit"):
+			retransmits[sp.Trace]++
+		}
+	}
+
+	endToEnd := 0
+	for id, l := range byTrace {
+		if l.pack && l.relay && l.unpack {
+			endToEnd++
+			if l.maxHop < 2 {
+				t.Errorf("trace %#x crossed a gateway but peaked at hop %d", id, l.maxHop)
+			}
+		}
+	}
+	if endToEnd != msgs {
+		t.Errorf("%d end-to-end traces (pack+relay+unpack under one ID), want %d", endToEnd, msgs)
+	}
+	total := 0
+	for _, n := range retransmits {
+		total += n
+	}
+	if total == 0 {
+		t.Error("no retransmit span carried a trace ID on a fabric losing ~20% of transfers")
+	}
+
+	// The merged export must stitch at least one traced message into a
+	// Chrome flow ("s"/"t"/"f" events under the hex trace ID).
+	var buf bytes.Buffer
+	if err := trace.Merge(rec).Chrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"ph":"s"`) || !strings.Contains(out, `"ph":"f"`) {
+		t.Error("merged Chrome export has no flow events")
+	}
+	for id, l := range byTrace {
+		if l.pack && l.relay && l.unpack {
+			if want := fmt.Sprintf("%#x", id); !strings.Contains(out, want) {
+				t.Errorf("merged export does not mention trace %s", want)
+			}
+			break
+		}
+	}
+}

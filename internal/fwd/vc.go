@@ -2,9 +2,12 @@ package fwd
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sync"
+	"sync/atomic"
 
 	"madeleine2/internal/core"
+	"madeleine2/internal/metrics"
 	"madeleine2/internal/model"
 	"madeleine2/internal/simnet"
 	"madeleine2/internal/trace"
@@ -63,8 +66,10 @@ type chunk struct {
 	data    []byte
 	stamp   vclock.Time
 	first   bool
-	last    bool // flagLast: lets Unpack drain a poisoned message to its end
-	corrupt bool // checksum mismatch: surfaced by Unpack
+	last    bool   // flagLast: lets Unpack drain a poisoned message to its end
+	corrupt bool   // checksum mismatch: surfaced by Unpack
+	trace   uint64 // distributed trace ID from the packet header
+	hop     uint32 // delivery hop: relays traversed + 1
 }
 
 // stream is the per-origin incoming byte stream at a destination.
@@ -103,7 +108,14 @@ type VC struct {
 
 	rel *relState // reliable mode only
 	ctr relCounters
-	obs *core.Observer
+	met map[string]*metrics.Counter // session-registry mirrors, read-only after New
+
+	// Distributed tracing: every message gets a cluster-wide trace ID of
+	// traceBase (a hash of the channel name and rank, never zero in the
+	// high half) plus a local sequence number. The ID rides the packet
+	// header across gateways.
+	traceBase uint64
+	traceSeq  atomic.Uint64
 
 	failMu  sync.Mutex
 	failErr error
@@ -180,7 +192,7 @@ func New(sess *core.Session, spec Spec) (map[int]*VC, error) {
 			spec:     spec,
 			sess:     sess,
 			rec:      rec,
-			obs:      sess.Observer(),
+			met:      relMetrics(sess.Metrics()),
 			chans:    make(map[int]*core.Channel),
 			ctls:     make(map[int]*core.Channel),
 			next:     routes[r],
@@ -193,6 +205,9 @@ func New(sess *core.Session, spec Spec) (map[int]*VC, error) {
 		if spec.Reliable {
 			v.rel = newRelState()
 		}
+		hash := fnv.New32a()
+		fmt.Fprintf(hash, "%s/%d", spec.Name, r)
+		v.traceBase = uint64(hash.Sum32()|1) << 32 // nonzero high half
 		for i, chans := range segChans {
 			if ch, ok := chans[r]; ok {
 				v.chans[i] = ch
@@ -359,6 +374,14 @@ type VConn struct {
 	sending bool
 	open    bool
 
+	// trace context: the message's trace ID (assigned at BeginPacking,
+	// learned from the first chunk when receiving), the hop the context
+	// was seen at, and the conversation's start time for the pack/unpack
+	// span.
+	traceID uint64
+	hop     uint32
+	t0      vclock.Time
+
 	// send state
 	buf  []byte
 	seq  uint32
@@ -379,7 +402,11 @@ func (v *VC) BeginPacking(a *vclock.Actor, remote int) (*VConn, error) {
 	if _, ok := v.next[remote]; !ok {
 		return nil, fmt.Errorf("fwd: no route from %d to %d on %s", v.rank, remote, v.name)
 	}
-	return &VConn{v: v, actor: a, remote: remote, sending: true, open: true}, nil
+	return &VConn{
+		v: v, actor: a, remote: remote, sending: true, open: true,
+		traceID: v.traceBase | (v.traceSeq.Add(1) & 0xffffffff),
+		t0:      a.Now(),
+	}, nil
 }
 
 // Pack appends a block to the message. Blocks are fragmented at the MTU;
@@ -432,6 +459,10 @@ func (c *VConn) EndPacking() error {
 	if !c.sent {
 		return core.ErrEmptyMessage
 	}
+	// The sender's end of the distributed trace: one pack span covering
+	// the whole conversation, tagged hop 0 so merged exports sort it
+	// before every relay and the final unpack.
+	c.v.rec.RecordT(c.actor.Name(), c.t0, c.actor.Now(), "p:pack", c.traceID, 0)
 	return nil
 }
 
@@ -439,7 +470,11 @@ func (c *VConn) EndPacking() error {
 // connection's progress state moves only after the send is known good: a
 // failed send must not claim a sequence number it never put on the wire.
 func (c *VConn) sendPacket(payload []byte, last bool) error {
-	h := header{Origin: c.v.rank, Dst: c.remote, Seq: c.seq, Len: len(payload), CRC: checksum(payload)}
+	h := header{
+		Origin: c.v.rank, Dst: c.remote, Seq: c.seq,
+		Len: len(payload), CRC: checksum(payload),
+		Trace: c.traceID, // Hop starts at 0; gateways increment per relay
+	}
 	if c.seq == 0 {
 		h.Flags |= flagFirst
 	}
@@ -495,7 +530,7 @@ func (v *VC) BeginUnpacking(a *vclock.Actor) (*VConn, error) {
 	if !ok {
 		return nil, v.errOr(core.ErrClosed)
 	}
-	return &VConn{v: v, actor: a, remote: origin, sending: false, open: true}, nil
+	return &VConn{v: v, actor: a, remote: origin, sending: false, open: true, t0: a.Now()}, nil
 }
 
 // Unpack extracts the next len(dst) bytes of the message. A checksum
@@ -515,6 +550,10 @@ func (c *VConn) Unpack(dst []byte, sm core.SendMode, rm core.RecvMode) error {
 				return c.v.errOr(core.ErrClosed)
 			}
 			c.actor.Sync(ck.stamp)
+			if c.traceID == 0 {
+				// The message's trace context, as carried by its packets.
+				c.traceID, c.hop = ck.trace, ck.hop
+			}
 			if ck.corrupt {
 				for !ck.last {
 					if ck, ok = st.q.Pop(); !ok {
@@ -546,5 +585,8 @@ func (c *VConn) EndUnpacking() error {
 	if st.roff != len(st.residue) {
 		return fmt.Errorf("fwd: %d unconsumed bytes at message end (asymmetric unpack)", len(st.residue)-st.roff)
 	}
+	// The receiver's end of the distributed trace, tagged with the hop
+	// count the packets arrived carrying so it sorts after every relay.
+	c.v.rec.RecordT(c.actor.Name(), c.t0, c.actor.Now(), "u:unpack", c.traceID, c.hop)
 	return nil
 }

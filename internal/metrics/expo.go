@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// JSON writes the snapshot as indented JSON — the machine-readable
+// exposition format (served at /metrics.json, read back by ParseSnapshot
+// and cmd/madtop, and dumped by madbench -metrics).
+func (s Snapshot) JSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ParseSnapshot reads a snapshot previously written by JSON.
+func ParseSnapshot(r io.Reader) (Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return Snapshot{}, fmt.Errorf("metrics: parse snapshot: %w", err)
+	}
+	return s, nil
+}
+
+// Prometheus writes the snapshot in the Prometheus text exposition
+// format (served at /metrics). Registry names mangle to mad2_<name> with
+// every non-alphanumeric byte folded to '_'; histograms render as
+// summaries with p50/p99 quantiles plus _sum/_count, all in virtual
+// nanoseconds.
+func (s Snapshot) Prometheus(w io.Writer) error {
+	for _, v := range s.Counters {
+		n := promName(v.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, v.Value); err != nil {
+			return err
+		}
+	}
+	for _, v := range s.Gauges {
+		n := promName(v.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", n, n, v.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Hists {
+		n := promName(h.Name)
+		if _, err := fmt.Fprintf(w,
+			"# TYPE %s summary\n%s{quantile=\"0.5\"} %d\n%s{quantile=\"0.99\"} %d\n%s_sum %d\n%s_count %d\n",
+			n, n, int64(h.P50), n, int64(h.P99), n, int64(h.Sum), n, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promName mangles a registry name into a legal Prometheus metric name.
+func promName(name string) string {
+	b := []byte("mad2_" + name)
+	for i := 5; i < len(b); i++ {
+		c := b[i]
+		if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9') {
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+// Format renders the snapshot as an aligned text table (madtop's screen,
+// madfwd -trace's counter section).
+func (s Snapshot) Format(w io.Writer) {
+	width := 0
+	for _, v := range s.Counters {
+		width = max(width, len(v.Name))
+	}
+	for _, v := range s.Gauges {
+		width = max(width, len(v.Name))
+	}
+	for _, h := range s.Hists {
+		width = max(width, len(h.Name))
+	}
+	if len(s.Counters) > 0 {
+		fmt.Fprintln(w, "counters:")
+		for _, v := range s.Counters {
+			fmt.Fprintf(w, "  %-*s %12d\n", width, v.Name, v.Value)
+		}
+	}
+	if len(s.Gauges) > 0 {
+		fmt.Fprintln(w, "gauges:")
+		for _, v := range s.Gauges {
+			fmt.Fprintf(w, "  %-*s %12d\n", width, v.Name, v.Value)
+		}
+	}
+	if len(s.Hists) > 0 {
+		fmt.Fprintln(w, "histograms:")
+		for _, h := range s.Hists {
+			fmt.Fprintf(w, "  %-*s %s\n", width, h.Name, h.HistSnapshot)
+		}
+	}
+}
+
+// String renders the snapshot as the Format table.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	s.Format(&b)
+	return b.String()
+}

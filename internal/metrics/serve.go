@@ -1,0 +1,47 @@
+package metrics
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+)
+
+// Server exposes one registry over HTTP: /metrics in Prometheus text
+// format and /metrics.json as a JSON snapshot. The endpoint is strictly
+// opt-in (madeleine2.ServeMetrics, madfwd -metrics-addr); nothing in the
+// library opens sockets on its own.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts serving reg on addr (":0" picks a free port; query the
+// result with Addr). It returns once the listener is bound; requests are
+// handled on a background goroutine until Close.
+func Serve(reg *Registry, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.Snapshot().Prometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.Snapshot().JSON(w)
+	})
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr reports the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL reports the server's base URL.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Close stops the listener and in-flight handlers.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -2,7 +2,9 @@ package trace
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
+	"sort"
 )
 
 // Chrome trace-event export: the recorder's spans rendered in the Trace
@@ -17,9 +19,11 @@ type chromeEvent struct {
 	Cat  string         `json:"cat,omitempty"`
 	Ph   string         `json:"ph"`
 	Ts   float64        `json:"ts"`
-	Dur  float64        `json:"dur"`
+	Dur  float64        `json:"dur,omitempty"`
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
+	ID   string         `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -32,11 +36,15 @@ type chromeTrace struct {
 // Chrome writes the recorded spans as Chrome trace-event JSON. Thread
 // ids are assigned per actor in order of first activity and labeled with
 // metadata events, so viewers show one row per actor just like Timeline.
+// Spans carrying a trace context gain trace/hop args, and every trace ID
+// seen on more than one span gets a flow ("s"/"t"/"f") chain drawing the
+// message's cross-actor, cross-cluster path as arrows between its hops.
 func (r *Recorder) Chrome(w io.Writer) error {
 	spans := r.Spans()
 	tids := map[string]int{}
+	byTrace := map[uint64][]int{} // trace ID -> indexes into spans
 	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
-	for _, s := range spans {
+	for i, s := range spans {
 		tid, ok := tids[s.Actor]
 		if !ok {
 			tid = len(tids)
@@ -50,7 +58,7 @@ func (r *Recorder) Chrome(w io.Writer) error {
 		if name == "" {
 			name = "busy"
 		}
-		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+		ev := chromeEvent{
 			Name: name,
 			Cat:  "vtime",
 			Ph:   "X",
@@ -58,7 +66,59 @@ func (r *Recorder) Chrome(w io.Writer) error {
 			Dur:  s.Duration().Microseconds(),
 			Pid:  1,
 			Tid:  tid,
+		}
+		if s.Trace != 0 {
+			ev.Args = map[string]any{"trace": fmt.Sprintf("%#x", s.Trace), "hop": s.Hop}
+			byTrace[s.Trace] = append(byTrace[s.Trace], i)
+		}
+		out.TraceEvents = append(out.TraceEvents, ev)
+	}
+
+	// Flow chains: one per multi-span trace, ordered by (hop, start) so
+	// the arrows follow the message — sender pack, gateway relays in hop
+	// order, receiver unpack — even when virtual clocks of different
+	// clusters are offset. Deterministic trace-ID order keeps the export
+	// diffable.
+	traceIDs := make([]uint64, 0, len(byTrace))
+	for id := range byTrace {
+		traceIDs = append(traceIDs, id)
+	}
+	sort.Slice(traceIDs, func(i, j int) bool { return traceIDs[i] < traceIDs[j] })
+	for _, id := range traceIDs {
+		idx := byTrace[id]
+		if len(idx) < 2 {
+			continue
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			sa, sb := spans[idx[a]], spans[idx[b]]
+			if sa.Hop != sb.Hop {
+				return sa.Hop < sb.Hop
+			}
+			return sa.Start < sb.Start
 		})
+		for k, i := range idx {
+			s := spans[i]
+			ph := "t"
+			switch k {
+			case 0:
+				ph = "s"
+			case len(idx) - 1:
+				ph = "f"
+			}
+			ev := chromeEvent{
+				Name: "msg",
+				Cat:  "trace",
+				Ph:   ph,
+				Ts:   s.Start.Microseconds(),
+				Pid:  1,
+				Tid:  tids[s.Actor],
+				ID:   fmt.Sprintf("%#x", id),
+			}
+			if ph == "f" {
+				ev.BP = "e" // bind to the enclosing slice, not the next one
+			}
+			out.TraceEvents = append(out.TraceEvents, ev)
+		}
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)

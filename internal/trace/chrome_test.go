@@ -86,3 +86,62 @@ func TestChromeEmptyRecorder(t *testing.T) {
 		t.Errorf("traceEvents = %v", out["traceEvents"])
 	}
 }
+
+func TestChromeFlowEvents(t *testing.T) {
+	r := New(0)
+	const id = uint64(0x100000001)
+	r.RecordT("n0", us(0), us(10), "p:pack", id, 0)
+	r.RecordT("gw", us(12), us(20), "r", id, 1)
+	r.RecordT("n3", us(22), us(30), "u:unpack", id, 2)
+	r.Record("n0", us(40), us(50), "x")         // untraced, no flow
+	r.RecordT("gw", us(5), us(6), "r", 0x42, 1) // single-span trace, no flow
+
+	var buf bytes.Buffer
+	if err := r.Chrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Tid  int            `json:"tid"`
+			ID   string         `json:"id"`
+			BP   string         `json:"bp"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	var flows []string
+	traced := 0
+	for _, e := range out.TraceEvents {
+		switch e.Ph {
+		case "s", "t", "f":
+			flows = append(flows, e.Ph)
+			if e.ID != "0x100000001" {
+				t.Errorf("flow id = %q", e.ID)
+			}
+			if e.Ph == "f" && e.BP != "e" {
+				t.Errorf("finish flow bp = %q, want e", e.BP)
+			}
+		case "X":
+			if e.Args["trace"] != nil {
+				traced++
+				if e.Args["hop"] == nil {
+					t.Errorf("traced span without hop arg: %+v", e)
+				}
+			}
+		}
+	}
+	if got, want := len(flows), 3; got != want {
+		t.Fatalf("flow event count = %d, want %d (%v)", got, want, flows)
+	}
+	if flows[0] != "s" || flows[1] != "t" || flows[2] != "f" {
+		t.Errorf("flow phases = %v, want [s t f]", flows)
+	}
+	if traced != 4 {
+		t.Errorf("traced X events = %d, want 4", traced)
+	}
+}

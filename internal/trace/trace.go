@@ -15,12 +15,20 @@ import (
 	"madeleine2/internal/vclock"
 )
 
-// Span is one labeled interval on one actor's timeline.
+// Span is one labeled interval on one actor's timeline. Trace and Hop
+// carry the distributed trace context (DESIGN.md "Distributed tracing &
+// metrics plane"): spans tagged with the same nonzero Trace belong to one
+// message's end-to-end journey, ordered by Hop — 0 at the sender, +1 per
+// gateway relay — so merged multi-cluster exports can draw cross-cluster
+// edges. A zero Trace means the span is local-only (the PR 2 observer
+// spans stay that way).
 type Span struct {
 	Actor string
 	Start vclock.Time
 	End   vclock.Time
 	Label string
+	Trace uint64
+	Hop   uint32
 }
 
 // Duration reports the span's length.
@@ -41,6 +49,13 @@ func New(limit int) *Recorder { return &Recorder{limit: limit} }
 // Record appends one span. No-op on a nil recorder or an inverted
 // interval; spans beyond the limit are counted as dropped (Dropped).
 func (r *Recorder) Record(actor string, start, end vclock.Time, label string) {
+	r.RecordT(actor, start, end, label, 0, 0)
+}
+
+// RecordT appends one span carrying a distributed trace context: the
+// message's trace ID and the hop count at which this actor saw it. Same
+// no-op and limit rules as Record.
+func (r *Recorder) RecordT(actor string, start, end vclock.Time, label string, traceID uint64, hop uint32) {
 	if r == nil || end < start {
 		return
 	}
@@ -50,7 +65,23 @@ func (r *Recorder) Record(actor string, start, end vclock.Time, label string) {
 		r.dropped++
 		return
 	}
-	r.spans = append(r.spans, Span{Actor: actor, Start: start, End: end, Label: label})
+	r.spans = append(r.spans, Span{Actor: actor, Start: start, End: end, Label: label, Trace: traceID, Hop: hop})
+}
+
+// Merge stitches several per-session recorders into one unbounded
+// recorder — the cross-cluster assembly step: each cluster's session
+// records its own spans (trace IDs riding the fwd header keep them
+// correlated), and merging the exports yields a single timeline whose
+// Chrome rendering draws flow edges between hops of the same trace. Nil
+// recorders are skipped; span order follows Spans() (start time).
+func Merge(recs ...*Recorder) *Recorder {
+	out := New(0)
+	for _, r := range recs {
+		for _, s := range r.Spans() {
+			out.RecordT(s.Actor, s.Start, s.End, s.Label, s.Trace, s.Hop)
+		}
+	}
+	return out
 }
 
 // Dropped reports how many spans were discarded at the limit, so a

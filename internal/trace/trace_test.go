@@ -195,3 +195,27 @@ func TestTimelineLabelCollision(t *testing.T) {
 		t.Errorf("row = %q, want 10 C cells", row)
 	}
 }
+
+func TestRecordTAndMerge(t *testing.T) {
+	a := New(0)
+	b := New(0)
+	a.RecordT("n0", us(0), us(10), "p:pack", 7, 0)
+	b.RecordT("n3", us(20), us(30), "u:unpack", 7, 2)
+	b.Record("n3", us(5), us(6), "x")
+
+	m := Merge(a, b, nil)
+	spans := m.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("merged %d spans, want 3", len(spans))
+	}
+	// Spans() orders by start time; the trace context must survive.
+	if spans[0].Trace != 7 || spans[0].Hop != 0 {
+		t.Errorf("first span context = %d/%d", spans[0].Trace, spans[0].Hop)
+	}
+	if spans[2].Trace != 7 || spans[2].Hop != 2 {
+		t.Errorf("last span context = %d/%d", spans[2].Trace, spans[2].Hop)
+	}
+	if spans[1].Trace != 0 {
+		t.Errorf("untraced span gained a trace ID: %+v", spans[1])
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"madeleine2/internal/bip"
 	"madeleine2/internal/core"
 	"madeleine2/internal/fwd"
+	"madeleine2/internal/metrics"
 	"madeleine2/internal/sbp"
 	"madeleine2/internal/simnet"
 	"madeleine2/internal/sisci"
@@ -168,6 +169,33 @@ type (
 // NewObserver builds an observer recording spans into rec (nil keeps
 // only the per-TM latency histograms).
 func NewObserver(rec *TraceRecorder) *Observer { return core.NewObserver(rec) }
+
+// Metrics plane: every session owns an always-on registry (fault
+// injections, fwd reliability, async engine and per-channel traffic all
+// publish into it), exposed on demand over HTTP.
+type (
+	// MetricsRegistry is a session's named-metric registry; snapshot it
+	// directly or serve it with ServeMetrics.
+	MetricsRegistry = metrics.Registry
+	// MetricsSnapshot is one sorted point-in-time view of a registry.
+	MetricsSnapshot = metrics.Snapshot
+	// MetricsServer is a running exposition endpoint; Close it when done.
+	MetricsServer = metrics.Server
+)
+
+// MergeTraces stitches per-session span recorders into one timeline;
+// spans carrying the same trace ID (propagated across fwd gateways)
+// render as a single cross-cluster flow in the Chrome export.
+func MergeTraces(recs ...*TraceRecorder) *TraceRecorder { return trace.Merge(recs...) }
+
+// ServeMetrics exposes the session's registry over HTTP: Prometheus text
+// on /metrics, the JSON snapshot (madtop's wire format) on
+// /metrics.json. addr is a listen address like "127.0.0.1:0"; the
+// server's URL reports the bound port. Opt-in: sessions that never call
+// it bind no socket and pay nothing beyond the registry's atomics.
+func ServeMetrics(sess *Session, addr string) (*MetricsServer, error) {
+	return metrics.Serve(sess.Metrics(), addr)
+}
 
 // NewTraceRecorder builds a span recorder keeping at most limit spans
 // (0 = unbounded).
