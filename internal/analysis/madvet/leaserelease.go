@@ -17,7 +17,11 @@ import (
 //   - `v, ok := x.lease.Pop()` (the queue-token lease of the forwarding
 //     layer's stop-and-wait links): the ok-branch must reach
 //     `x.lease.Push(...)`/`PushIfOpen(...)` on all paths; the !ok branch
-//     never held the token (the queue was closed).
+//     never held the token (the queue was closed);
+//   - `region, err := x.Register(...)` where the result type has a
+//     Deregister method (the registered-memory lease of the via and rdma
+//     drivers): the err == nil branch must reach `region.Deregister()`
+//     on all paths.
 //
 // Functions that move ownership out (the token holder escapes by being
 // returned or stored) are exempt — that is the BeginPacking pattern,
@@ -74,7 +78,6 @@ func acquireSite(info *types.Info, n *analysis.Node) (leaseSite, bool) {
 			}
 		}
 	case *ast.AssignStmt:
-		// v, ok := x.lease.Pop()
 		if len(s.Rhs) != 1 {
 			return leaseSite{}, false
 		}
@@ -83,28 +86,58 @@ func acquireSite(info *types.Info, n *analysis.Node) (leaseSite, bool) {
 			return leaseSite{}, false
 		}
 		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-		if !ok || sel.Sel.Name != "Pop" {
+		if !ok {
 			return leaseSite{}, false
 		}
-		holder, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
-		if !ok || holder.Sel.Name != "lease" {
-			return leaseSite{}, false
+		switch sel.Sel.Name {
+		case "Pop":
+			// v, ok := x.lease.Pop()
+			holder, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+			if !ok || holder.Sel.Name != "lease" {
+				return leaseSite{}, false
+			}
+			path, root := exprPath(info, sel.X)
+			if path == "" {
+				return leaseSite{}, false
+			}
+			var guard guardSpec
+			if len(s.Lhs) == 2 {
+				guard = guardSpec{obj: defObj(info, s.Lhs[1]), failMode: pairFree}
+			}
+			return leaseSite{
+				path:     path,
+				root:     root,
+				releases: []string{"Push", "PushIfOpen"},
+				guard:    guard,
+				what:     "link token popped from " + path,
+			}, true
+		case "Register":
+			// region, err := x.Register(...): the registered-memory lease of
+			// the one-sided drivers. The result holds pinned pages until its
+			// Deregister, so it must reach region.Deregister() on every path
+			// the err guard proves it was held. Assignments into fields (a
+			// connection caching its rings) move ownership out and are left
+			// alone, as is a region that escapes by return or argument.
+			id, ok := ast.Unparen(s.Lhs[0]).(*ast.Ident)
+			if !ok || id.Name == "_" {
+				return leaseSite{}, false
+			}
+			obj := defObj(info, id)
+			if obj == nil || !hasMethod(obj.Type(), "Deregister") {
+				return leaseSite{}, false
+			}
+			var guard guardSpec
+			if len(s.Lhs) == 2 {
+				guard = guardSpec{obj: defObj(info, s.Lhs[1]), failMode: pairFree}
+			}
+			return leaseSite{
+				path:     id.Name,
+				root:     obj,
+				releases: []string{"Deregister"},
+				guard:    guard,
+				what:     "region " + id.Name + " pinned by Register",
+			}, true
 		}
-		path, root := exprPath(info, sel.X)
-		if path == "" {
-			return leaseSite{}, false
-		}
-		var guard guardSpec
-		if len(s.Lhs) == 2 {
-			guard = guardSpec{obj: defObj(info, s.Lhs[1]), failMode: pairFree}
-		}
-		return leaseSite{
-			path:     path,
-			root:     root,
-			releases: []string{"Push", "PushIfOpen"},
-			guard:    guard,
-			what:     "link token popped from " + path,
-		}, true
 	}
 	return leaseSite{}, false
 }

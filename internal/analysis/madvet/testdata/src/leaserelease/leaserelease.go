@@ -70,3 +70,49 @@ func badPop(lt *link, cond bool) error {
 	lt.lease.Push(v)
 	return nil
 }
+
+// region mimics the registered-memory lease of the one-sided drivers:
+// Register pins pages, Deregister unpins them.
+type region struct{ pinned bool }
+
+func (m *region) Deregister() error { m.pinned = false; return nil }
+
+// hca mimics via/rdma registration: the returned region holds the lease.
+type hca struct{}
+
+func (h *hca) Register(key uint32, buf []byte) (*region, error) {
+	return &region{pinned: true}, nil
+}
+
+// goodRegister: the err branch never held the region; the deferred
+// Deregister covers every other exit.
+func goodRegister(h *hca, buf []byte, work func() error) error {
+	m, err := h.Register(1, buf)
+	if err != nil {
+		return err
+	}
+	defer m.Deregister()
+	return work()
+}
+
+// badRegister leaks pinned pages through the early return.
+func badRegister(h *hca, buf []byte, cond bool) error {
+	m, err := h.Register(1, buf)
+	if err != nil {
+		return err
+	}
+	if cond {
+		return errClosed // want `region m pinned by Register is not released`
+	}
+	return m.Deregister()
+}
+
+// goodRegisterEscape hands the region to its caller: ownership moves out,
+// the release happens in another scope (the PostRecv pattern).
+func goodRegisterEscape(h *hca, buf []byte) (*region, error) {
+	m, err := h.Register(1, buf)
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}

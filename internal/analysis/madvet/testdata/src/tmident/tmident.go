@@ -30,3 +30,30 @@ type tmAlias = core.TM
 
 var _ tmAlias
 var _ shadow
+
+// rdmaPMM mimics the rdma protocol module: it owns its two sibling TMs
+// without implementing the interface itself — allowed.
+type rdmaPMM struct {
+	eager *rdmaEagerTM
+	rdv   *rdmaRdvTM
+}
+
+func (p *rdmaPMM) pick(n int) core.TM {
+	if n <= 2048 {
+		return p.eager
+	}
+	return p.rdv
+}
+
+// rdmaEagerTM and rdmaRdvTM mirror the two rdma transmission modules: TM
+// implementations that point back at their protocol module (which is not
+// a TM), not at another TM — no wrapped identity, allowed.
+type rdmaEagerTM struct{ p *rdmaPMM }
+
+func (t *rdmaEagerTM) Name() string { return "rdma-eager" }
+func (t *rdmaEagerTM) MTU() int     { return 4096 }
+
+type rdmaRdvTM struct{ p *rdmaPMM }
+
+func (t *rdmaRdvTM) Name() string { return "rdma-rdv" }
+func (t *rdmaRdvTM) MTU() int     { return 1 << 20 }

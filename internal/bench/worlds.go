@@ -6,6 +6,7 @@ import (
 	"madeleine2/internal/bip"
 	"madeleine2/internal/core"
 	"madeleine2/internal/fwd"
+	"madeleine2/internal/rdma"
 	"madeleine2/internal/sbp"
 	"madeleine2/internal/simnet"
 	"madeleine2/internal/sisci"
@@ -31,6 +32,7 @@ func TwoNodesObserved(driver string, obs *core.Observer) (*core.Session, map[int
 		w.Node(i).AddAdapter(tcpnet.Network)
 		w.Node(i).AddAdapter(via.Network)
 		w.Node(i).AddAdapter(sbp.Network)
+		w.Node(i).AddAdapter(rdma.Network)
 	}
 	sess := core.NewSession(w)
 	sess.SetObserver(obs)
@@ -88,6 +90,8 @@ func networkOf(driver string) (string, error) {
 		return via.Network, nil
 	case "sbp":
 		return sbp.Network, nil
+	case "rdma", "rdma-eager", "rdma-rdv":
+		return rdma.Network, nil
 	}
 	return "", fmt.Errorf("bench: unknown driver %q", driver)
 }

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"madeleine2/internal/bip"
+	"madeleine2/internal/rdma"
 	"madeleine2/internal/sbp"
 	"madeleine2/internal/simnet"
 	"madeleine2/internal/sisci"
@@ -25,6 +26,7 @@ func testWorld(n int) *simnet.World {
 		w.Node(i).AddAdapter(tcpnet.Network)
 		w.Node(i).AddAdapter(via.Network)
 		w.Node(i).AddAdapter(sbp.Network)
+		w.Node(i).AddAdapter(rdma.Network)
 	}
 	return w
 }
@@ -120,7 +122,9 @@ func pattern(n int, seed byte) []byte {
 	return b
 }
 
-func allDrivers() []string { return []string{"bip", "sisci", "tcp", "via", "sbp", "sisci-dma"} }
+func allDrivers() []string {
+	return []string{"bip", "sisci", "tcp", "via", "sbp", "sisci-dma", "rdma", "rdma-eager", "rdma-rdv"}
+}
 
 func TestTable1Interface(t *testing.T) {
 	// Table 1: the six primitives exist with the documented roles. This

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"madeleine2/internal/bip"
+	"madeleine2/internal/rdma"
 	"madeleine2/internal/sbp"
 	"madeleine2/internal/simnet"
 	"madeleine2/internal/sisci"
@@ -27,6 +28,7 @@ func railTestWorld(n, per int) *simnet.World {
 			w.Node(i).AddAdapter(tcpnet.Network)
 			w.Node(i).AddAdapter(via.Network)
 			w.Node(i).AddAdapter(sbp.Network)
+			w.Node(i).AddAdapter(rdma.Network)
 		}
 	}
 	return w

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"madeleine2/internal/bip"
+	"madeleine2/internal/rdma"
 	"madeleine2/internal/sbp"
 	"madeleine2/internal/simnet"
 	"madeleine2/internal/sisci"
@@ -95,11 +96,13 @@ func externalNames() []string {
 
 // Drivers lists the protocol modules the library supports, matching the
 // paper's "it currently runs on top of BIP, SISCI, TCP, VIA" (§7) plus the
-// SBP static-buffer protocol of §6.1. "sisci-dma" selects the SISCI PMM
-// with its (normally disabled) DMA transmission module active;
-// "sisci-nodual" disables the adaptive dual-buffering TM (ablation).
+// SBP static-buffer protocol of §6.1 and the one-sided RDMA module of the
+// ROADMAP. "sisci-dma" selects the SISCI PMM with its (normally disabled)
+// DMA transmission module active; "sisci-nodual" disables the adaptive
+// dual-buffering TM (ablation); "rdma-eager" and "rdma-rdv" pin the RDMA
+// PMM's Switch decision to one protocol (crossover ablation).
 func Drivers() []string {
-	builtin := []string{"bip", "sisci", "sisci-dma", "sisci-nodual", "tcp", "via", "sbp"}
+	builtin := []string{"bip", "sisci", "sisci-dma", "sisci-nodual", "tcp", "via", "sbp", "rdma", "rdma-eager", "rdma-rdv"}
 	return append(builtin, externalNames()...)
 }
 
@@ -116,6 +119,8 @@ func networkFor(driver string) (string, error) {
 		return via.Network, nil
 	case "sbp":
 		return sbp.Network, nil
+	case "rdma", "rdma-eager", "rdma-rdv":
+		return rdma.Network, nil
 	default:
 		return "", fmt.Errorf("core: unknown driver %q (have %v)", driver, Drivers())
 	}
@@ -138,6 +143,12 @@ func newPMM(driver string, node *simnet.Node, adapter, chanID int) (PMM, error) 
 		return newVIAPMM(node, adapter, chanID)
 	case "sbp":
 		return newSBPPMM(node, adapter, chanID)
+	case "rdma":
+		return newRDMAPMM(node, adapter, chanID, "")
+	case "rdma-eager":
+		return newRDMAPMM(node, adapter, chanID, "eager")
+	case "rdma-rdv":
+		return newRDMAPMM(node, adapter, chanID, "rdv")
 	default:
 		if d, ok := externalDriver(driver); ok {
 			return d.New(node, adapter, chanID)

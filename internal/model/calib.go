@@ -93,6 +93,49 @@ var VIARegister = vclock.Micros(12)
 // VIAPageSize is the registration granularity.
 const VIAPageSize = 4096
 
+// --- RDMA (one-sided verbs-style fabric) ---
+//
+// The RDMA driver models an InfiniBand-class one-sided fabric in the style
+// of MPICH2-over-InfiniBand: RDMA-write eager into pre-registered bounce
+// buffers for small messages, rendezvous zero-copy above a crossover.
+// Numbers are era-plausible 4X-IB-class figures scaled to the PII-450/PCI
+// testbed frame of the rest of the calibration.
+
+// RDMAEagerMax is the eager protocol's bounce-buffer slot size: blocks
+// up to this size are copied into one pre-registered slot and
+// RDMA-written in one shot; larger eager traffic (EXPRESS blocks of any
+// size) is chunked slot by slot.
+const RDMAEagerMax = 4096
+
+// RDMACrossover is where the Switch module hands non-EXPRESS blocks from
+// eager to rendezvous. It is the calibrated intersection of the two cost
+// lines: eager pays ~9.3 µs fixed plus ~14.9 ns/B (two bounce copies at
+// MadCopyBandwidth plus the wire), rendezvous pays the ~34.6 µs RTS/CTS
+// handshake plus ~3.2 ns/B zero-copy wire time — equal near 2.2 kB. The
+// bandwidth sweep has no 2 kB point, so either side of the constant wins
+// its whole half of the sweep cleanly.
+const RDMACrossover = 2048
+
+// RDMAEagerSlots is the number of bounce-buffer slots per direction; the
+// eager TM runs credit-based flow control over them.
+const RDMAEagerSlots = 8
+
+// RDMAWrite: the one-sided RDMA-write data path into a registered remote
+// region. The fixed cost is the doorbell + WQE processing on the initiator.
+var RDMAWrite = Link{Name: "rdma-write", Fixed: vclock.Micros(6), Bandwidth: 300, Kind: DMA}
+
+// RDMACtrl: small control frames (RTS/CTS/FIN and eager credits) sent as
+// RDMA writes into a dedicated control ring.
+var RDMACtrl = Link{Name: "rdma-ctrl", Fixed: vclock.Micros(8), Bandwidth: 300, Kind: DMA}
+
+// RDMARegister is the per-page cost of pinning and key-exchanging a user
+// region, paid by the rendezvous receiver when it registers the
+// destination on the fly.
+var RDMARegister = vclock.Micros(2)
+
+// RDMAPageSize is the registration granularity.
+const RDMAPageSize = 4096
+
 // --- SBP (static-buffer kernel protocol, cited in §6.1) ---
 
 // SBPBufSize is the size of SBP's kernel-provided static buffers.

@@ -33,6 +33,14 @@ func NewSegment(id uint32, size int) *Segment {
 	return &Segment{id: id, buf: make([]byte, size), recs: NewQueue[WriteRecord]()}
 }
 
+// NewSegmentOver exports buf itself as a segment: remote writes land
+// directly in the caller's memory. This is the zero-copy receive primitive
+// an RDMA-style driver builds registered regions from — the segment does
+// not own the bytes, the registering application does.
+func NewSegmentOver(id uint32, buf []byte) *Segment {
+	return &Segment{id: id, buf: buf, recs: NewQueue[WriteRecord]()}
+}
+
 // ID reports the segment identifier.
 func (s *Segment) ID() uint32 { return s.id }
 
@@ -105,6 +113,39 @@ func (a *Adapter) CreateSegment(id uint32, size int) *Segment {
 	s.owner = a
 	a.segments[id] = s
 	return s
+}
+
+// CreateSegmentOver exports the caller's buf as segment id on the adapter,
+// the registered-memory analogue of CreateSegment. Duplicate ids panic.
+func (a *Adapter) CreateSegmentOver(id uint32, buf []byte) *Segment {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.segments == nil {
+		a.segments = make(map[uint32]*Segment)
+	}
+	if _, dup := a.segments[id]; dup {
+		panic(fmt.Sprintf("simnet: duplicate segment %d on node %d/%s", id, a.node.id, a.network))
+	}
+	s := NewSegmentOver(id, buf)
+	s.owner = a
+	a.segments[id] = s
+	return s
+}
+
+// RemoveSegment withdraws an exported segment so its id can be reused —
+// the deregistration half of CreateSegmentOver's lifecycle. The segment's
+// record stream is closed; a peer holding a stale *Segment can still
+// write real bytes (the simulated analogue of DMA into unpinned memory),
+// which is exactly the hazard drivers must fence with their own
+// registration checks. Removing an id that is not exported is a no-op.
+func (a *Adapter) RemoveSegment(id uint32) {
+	a.mu.Lock()
+	s := a.segments[id]
+	delete(a.segments, id)
+	a.mu.Unlock()
+	if s != nil {
+		s.Release()
+	}
 }
 
 // ConnectSegment resolves a segment exported by the idx-th adapter of

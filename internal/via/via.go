@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"madeleine2/internal/model"
 	"madeleine2/internal/simnet"
@@ -34,6 +35,11 @@ var ErrNotRegistered = errors.New("via: memory region not registered")
 
 // ErrTooSmall reports a posted receive descriptor smaller than the payload.
 var ErrTooSmall = errors.New("via: posted descriptor smaller than payload")
+
+// ErrVIClosed reports an operation on a VI whose endpoint has been closed:
+// a WaitRecv finding the completion stream ended, or a send racing the
+// receiver's teardown.
+var ErrVIClosed = errors.New("via: VI closed")
 
 // NIC is one node's VIA provider instance.
 type NIC struct {
@@ -61,14 +67,20 @@ func (n *NIC) Node() int { return n.adapter.Node().ID() }
 // Index reports the NIC's adapter index on the VIA network.
 func (n *NIC) Index() int { return n.adapter.Index() }
 
-// MemRegion is a registered (pinned) memory region.
+// MemRegion is a registered (pinned) memory region. The registration flag
+// is atomic because the two ends of a VI legitimately race: a sender
+// consuming a posted descriptor re-checks its registration at delivery
+// time while the receiver may be deregistering it.
 type MemRegion struct {
 	buf        []byte
-	registered bool
+	registered atomic.Bool
 }
 
 // Bytes exposes the region's memory.
 func (m *MemRegion) Bytes() []byte { return m.buf }
+
+// Registered reports whether the region is currently pinned.
+func (m *MemRegion) Registered() bool { return m.registered.Load() }
 
 // Register pins buf for NIC access, charging the per-page registration
 // cost to the actor.
@@ -78,11 +90,21 @@ func (n *NIC) Register(a *vclock.Actor, buf []byte) *MemRegion {
 		pages = 1
 	}
 	a.Advance(vclock.Time(pages) * model.VIARegister)
-	return &MemRegion{buf: buf, registered: true}
+	m := &MemRegion{buf: buf}
+	m.registered.Store(true)
+	return m
 }
 
-// Deregister unpins the region; further NIC use fails.
-func (m *MemRegion) Deregister() { m.registered = false }
+// Deregister unpins the region; further NIC use — posting it, sending
+// from it, or delivering into it — fails with ErrNotRegistered. A second
+// Deregister is itself an error: the double release is a lifecycle bug
+// the caller wants to hear about.
+func (m *MemRegion) Deregister() error {
+	if !m.registered.CompareAndSwap(true, false) {
+		return fmt.Errorf("via: deregister of already-deregistered region: %w", ErrNotRegistered)
+	}
+	return nil
+}
 
 // completion is one entry of a VI's receive completion queue.
 type completion struct {
@@ -146,10 +168,12 @@ func (v *VI) peerVI() (*VI, error) {
 // PostRecv appends a registered region to the VI's receive descriptor
 // queue.
 func (v *VI) PostRecv(m *MemRegion) error {
-	if !m.registered {
+	if !m.registered.Load() {
 		return ErrNotRegistered
 	}
-	v.posted.Push(m)
+	if !v.posted.PushIfOpen(m) {
+		return ErrVIClosed
+	}
 	return nil
 }
 
@@ -160,7 +184,7 @@ func (v *VI) PostedRecvs() int { return v.posted.Len() }
 // peer's head posted descriptor. link selects the send path's cost model
 // (descriptor send vs RDMA-style large transfer).
 func (v *VI) Send(a *vclock.Actor, m *MemRegion, n int, link model.Link) error {
-	if !m.registered {
+	if !m.registered.Load() {
 		return ErrNotRegistered
 	}
 	pv, err := v.peerVI()
@@ -171,6 +195,13 @@ func (v *VI) Send(a *vclock.Actor, m *MemRegion, n int, link model.Link) error {
 	if !ok {
 		return ErrReceiverNotReady
 	}
+	// Delivery-time re-check: the descriptor was registered when posted,
+	// but the receiver may have unpinned it since. The NIC must not DMA
+	// into unpinned memory; on a reliable-delivery VI the consumed
+	// descriptor is gone either way.
+	if !dst.registered.Load() {
+		return fmt.Errorf("via: posted descriptor deregistered before delivery: %w", ErrNotRegistered)
+	}
 	if len(dst.buf) < n {
 		return ErrTooSmall
 	}
@@ -178,7 +209,9 @@ func (v *VI) Send(a *vclock.Actor, m *MemRegion, n int, link model.Link) error {
 	start, _ := v.nic.adapter.TxEngine().Acquire(a.Now(), link.ByteTime(n))
 	arrive := start + link.Time(n) - link.Fixed/2 // the other half of the fixed cost is wire-side
 	copy(dst.buf, m.buf[:n])
-	pv.comps.Push(completion{region: dst, n: n, arrive: arrive})
+	if !pv.comps.PushIfOpen(completion{region: dst, n: n, arrive: arrive}) {
+		return ErrVIClosed
+	}
 	return nil
 }
 
@@ -187,14 +220,33 @@ func (v *VI) Send(a *vclock.Actor, m *MemRegion, n int, link model.Link) error {
 func (v *VI) WaitRecv(a *vclock.Actor) (*MemRegion, int, error) {
 	c, ok := v.comps.Pop()
 	if !ok {
-		return nil, 0, fmt.Errorf("via: completion queue closed")
+		return nil, 0, ErrVIClosed
+	}
+	// The data landed while the descriptor was pinned, but if the region
+	// has been unpinned since, handing it out as a live NIC buffer would
+	// resurrect it; fail the reap instead.
+	if !c.region.registered.Load() {
+		return nil, 0, fmt.Errorf("via: completion for deregistered region: %w", ErrNotRegistered)
 	}
 	a.Sync(c.arrive)
 	return c.region, c.n, nil
 }
 
-// Close shuts the VI's queues down.
-func (v *VI) Close() {
+// Close shuts the VI down and returns the receive descriptors that were
+// posted but never consumed, so the caller can reclaim (deregister,
+// recycle) their buffers. A WaitRecv blocked on the completion queue is
+// woken and fails with ErrVIClosed once the already-delivered completions
+// drain; without the explicit close error it would block its vclock actor
+// forever.
+func (v *VI) Close() []*MemRegion {
 	v.posted.Close()
 	v.comps.Close()
+	var unposted []*MemRegion
+	for {
+		m, ok := v.posted.TryPop()
+		if !ok {
+			return unposted
+		}
+		unposted = append(unposted, m)
+	}
 }

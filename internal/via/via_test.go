@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"testing"
+	"time"
 
 	"madeleine2/internal/model"
 	"madeleine2/internal/simnet"
@@ -157,7 +158,113 @@ func TestCompletionOrderAndClose(t *testing.T) {
 		prev = r.Now()
 	}
 	v1.Close()
-	if _, _, err := v1.WaitRecv(r); err == nil {
-		t.Error("WaitRecv on a closed VI must fail")
+	if _, _, err := v1.WaitRecv(r); !errors.Is(err, ErrVIClosed) {
+		t.Errorf("WaitRecv on a closed VI: err = %v, want ErrVIClosed", err)
+	}
+}
+
+func TestDeregisterEnforcedAtDelivery(t *testing.T) {
+	// A descriptor that was registered when posted but deregistered before
+	// the send consumes it must fail the send, not silently land bytes in
+	// unpinned memory.
+	n0, n1 := pair(t)
+	v0 := n0.CreateVI(11, 1, 0)
+	v1 := n1.CreateVI(11, 0, 0)
+	s, r := vclock.NewActor("s"), vclock.NewActor("r")
+
+	dst := n1.Register(r, make([]byte, 64))
+	if err := v1.PostRecv(dst); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Deregister(); err != nil {
+		t.Fatal(err)
+	}
+	src := n0.Register(s, make([]byte, 64))
+	if err := v0.Send(s, src, 8, model.VIASend); !errors.Is(err, ErrNotRegistered) {
+		t.Errorf("send into deregistered posted descriptor: err = %v, want ErrNotRegistered", err)
+	}
+	if err := dst.Deregister(); !errors.Is(err, ErrNotRegistered) {
+		t.Errorf("double deregister: err = %v, want ErrNotRegistered", err)
+	}
+}
+
+func TestDeregisterEnforcedAtReap(t *testing.T) {
+	// Deregistering between delivery and WaitRecv fails the reap: the
+	// region must not be handed back out as a live NIC buffer.
+	n0, n1 := pair(t)
+	v0 := n0.CreateVI(12, 1, 0)
+	v1 := n1.CreateVI(12, 0, 0)
+	s, r := vclock.NewActor("s"), vclock.NewActor("r")
+
+	dst := n1.Register(r, make([]byte, 64))
+	if err := v1.PostRecv(dst); err != nil {
+		t.Fatal(err)
+	}
+	src := n0.Register(s, make([]byte, 64))
+	if err := v0.Send(s, src, 8, model.VIASend); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Deregister(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := v1.WaitRecv(r); !errors.Is(err, ErrNotRegistered) {
+		t.Errorf("reap of deregistered region: err = %v, want ErrNotRegistered", err)
+	}
+}
+
+func TestCloseReturnsPostedRegions(t *testing.T) {
+	// Close hands back the never-consumed posted descriptors so the caller
+	// can reclaim the registered buffers; PostRecv afterwards fails.
+	n0, n1 := pair(t)
+	_ = n0
+	v1 := n1.CreateVI(13, 0, 0)
+	r := vclock.NewActor("r")
+	var posted []*MemRegion
+	for i := 0; i < 3; i++ {
+		m := n1.Register(r, make([]byte, 32))
+		posted = append(posted, m)
+		if err := v1.PostRecv(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := v1.Close()
+	if len(got) != 3 {
+		t.Fatalf("Close returned %d regions, want 3", len(got))
+	}
+	for i, m := range got {
+		if m != posted[i] {
+			t.Errorf("region %d not returned in post order", i)
+		}
+		if err := m.Deregister(); err != nil {
+			t.Errorf("reclaimed region %d: %v", i, err)
+		}
+	}
+	if err := v1.PostRecv(n1.Register(r, make([]byte, 32))); !errors.Is(err, ErrVIClosed) {
+		t.Errorf("PostRecv after close: err = %v, want ErrVIClosed", err)
+	}
+}
+
+func TestBlockedWaitRecvFailsAtClose(t *testing.T) {
+	// Regression: a receiver blocked in WaitRecv when the VI closes must
+	// be woken with ErrVIClosed, not hang its vclock actor.
+	_, n1 := pair(t)
+	v1 := n1.CreateVI(14, 0, 0)
+	r := vclock.NewActor("r")
+	errc := make(chan error, 1)
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		_, _, err := v1.WaitRecv(r)
+		errc <- err
+	}()
+	<-started
+	v1.Close()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrVIClosed) {
+			t.Errorf("blocked WaitRecv: err = %v, want ErrVIClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitRecv still blocked after Close")
 	}
 }
