@@ -1,15 +1,21 @@
 // Command madvet is the Madeleine invariant checker: a multichecker of
-// the six analyzers in internal/analysis/madvet, enforcing the
+// the nine analyzers in internal/analysis/madvet, enforcing the
 // pack/lease/virtual-time contracts the type system cannot.
 //
-// Standalone (the usual way):
+// Standalone (the usual way — loads the whole pattern in one run, so
+// interprocedural ownership summaries span packages):
 //
 //	go run ./cmd/madvet ./...
 //	go run ./cmd/madvet -json ./internal/core
 //
-// As a vet tool (integrates with go vet's per-package caching):
+// As a vet tool (integrates with go vet's per-package caching; summaries
+// are per-unit only — see unitchecker.go):
 //
 //	go vet -vettool=$(which madvet) ./...
+//
+// Findings can be suppressed line by line with a justified directive —
+// `//madvet:ignore <analyzer> -- <reason>` — which is itself checked
+// (unknown analyzer, missing reason, or stale directives are diagnosed).
 //
 // Exit status: 0 clean, 1 diagnostics reported, 2 usage or load error.
 package main
@@ -88,7 +94,14 @@ func runStandalone() int {
 		fmt.Fprintln(os.Stderr, "madvet:", err)
 		return 2
 	}
-	diags, err := analysis.Run(pkgs, madvet.Analyzers)
+	// Stale-//madvet:ignore detection needs whole-module summaries: on a
+	// package subset a directive justified by a cross-package finding
+	// looks unused. Flag staleness only when the run covers the module.
+	runner := analysis.RunUnit
+	if wholeModule(loader, paths) {
+		runner = analysis.Run
+	}
+	diags, err := runner(pkgs, madvet.Analyzers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "madvet:", err)
 		return 2
@@ -116,6 +129,25 @@ func runStandalone() int {
 		return 1
 	}
 	return 0
+}
+
+// wholeModule reports whether the loaded paths cover every package of
+// the module.
+func wholeModule(loader *analysis.Loader, paths []string) bool {
+	all, err := loader.ExpandPatterns([]string{"./..."})
+	if err != nil {
+		return false
+	}
+	have := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		have[p] = true
+	}
+	for _, p := range all {
+		if !have[p] {
+			return false
+		}
+	}
+	return true
 }
 
 // findModule walks up from the working directory to the enclosing go.mod.

@@ -41,6 +41,15 @@ type vetConfig struct {
 // runUnitchecker analyzes one package unit described by a .cfg file,
 // resolving imports through the compiler export data the go command
 // already built. Returns the process exit code.
+//
+// Interprocedural ownership summaries are computed from this unit's
+// function bodies only: export data carries no bodies and madvet's vetx
+// files are empty, so a callee in another package has no summary and the
+// summary-driven rules fall back to their conservative (exempting)
+// defaults. The vettool mode is therefore strictly weaker than a
+// standalone whole-tree run — still sound for what it does report, and
+// never noisier. CI runs both: the standalone gate for full strength,
+// this mode for go vet cache integration.
 func runUnitchecker(cfgFile string) int {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
@@ -120,7 +129,10 @@ func runUnitchecker(cfgFile string) int {
 			Types: pkg,
 			Info:  info,
 		}
-		diags, err := analysis.Run([]*analysis.Package{apkg}, madvet.Analyzers)
+		// RunUnit, not Run: with per-unit summaries a whole-tree-justified
+		// //madvet:ignore can be legitimately unused here, so the
+		// stale-directive check stays with the standalone gate.
+		diags, err := analysis.RunUnit([]*analysis.Package{apkg}, madvet.Analyzers)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "madvet:", err)
 			return 2

@@ -32,6 +32,14 @@ type Analyzer struct {
 	// through pass.Report; the error return is for operational failures
 	// (not findings) and aborts the whole run.
 	Run func(pass *Pass) error
+
+	// Summarizer, if non-nil, is the fact computer whose per-function
+	// summaries this analyzer consumes through Pass.Facts. The driver
+	// runs each distinct summarizer exactly once, bottom-up over the
+	// call graph of every loaded package, before any analyzer Run —
+	// several analyzers sharing one summarizer (by interface identity)
+	// share its facts.
+	Summarizer Summarizer
 }
 
 func (a *Analyzer) String() string { return a.Name }
@@ -45,6 +53,11 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+
+	// Facts holds the interprocedural summaries computed before the run
+	// (nil when the driver ran without summarizers — every lookup then
+	// answers "unknown").
+	Facts *Facts
 
 	// report delivers one diagnostic; installed by the driver.
 	report func(Diagnostic)

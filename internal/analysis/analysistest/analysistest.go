@@ -8,6 +8,12 @@
 //
 //	conn.EndPacking() // want `error of EndPacking is discarded`
 //
+// The block form `/* want "re" */` is equivalent, for lines whose line
+// comment is spoken for — testing a //madvet:ignore directive's own
+// diagnostics requires the want before the directive:
+//
+//	/* want "names unknown analyzer" */ //madvet:ignore nosuchcheck -- ...
+//
 // Every diagnostic must match an unconsumed expectation on its line, and
 // every expectation must be consumed; anything else fails the test.
 package analysistest
@@ -88,10 +94,16 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
 	}
 }
 
-// parseWant extracts the regexps of a `// want "re" ...` comment.
+// parseWant extracts the regexps of a `// want "re" ...` (or
+// `/* want "re" */`) comment.
 func parseWant(t *testing.T, text string) ([]*regexp.Regexp, bool) {
 	t.Helper()
-	rest, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(text, "//")), "want ")
+	if inner, ok := strings.CutPrefix(text, "/*"); ok {
+		text = strings.TrimSuffix(inner, "*/")
+	} else {
+		text = strings.TrimPrefix(text, "//")
+	}
+	rest, ok := strings.CutPrefix(strings.TrimSpace(text), "want ")
 	if !ok {
 		return nil, false
 	}

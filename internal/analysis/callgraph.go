@@ -1,0 +1,188 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// FuncInfo binds one function's syntax to its type object and owning
+// package: the unit of interprocedural summary computation. Only
+// declared functions and methods with bodies appear — function literals
+// are not call-graph nodes (a call through a variable is unresolvable
+// statically), though their bodies are visible to the summarizer through
+// the enclosing declaration.
+type FuncInfo struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+}
+
+// Body returns the function's statement list.
+func (fi *FuncInfo) Body() *ast.BlockStmt { return fi.Decl.Body }
+
+// CallGraph is the static call graph over a set of loaded packages:
+// nodes are declared functions with bodies, edges are direct calls whose
+// callee resolves to another node (method calls through a concrete
+// receiver included; calls through interfaces, function values, and
+// packages loaded without bodies resolve to nothing and simply have no
+// edge). It exists to give summary computation a bottom-up order, so
+// soundness gaps here degrade to "callee unknown" — never to a wrong
+// summary.
+type CallGraph struct {
+	Funcs map[*types.Func]*FuncInfo
+	// Callees lists the distinct resolved callees of each node, in first-
+	// call order.
+	Callees map[*types.Func][]*types.Func
+}
+
+// BuildCallGraph constructs the graph over every function declared in
+// the packages.
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	cg := &CallGraph{
+		Funcs:   make(map[*types.Func]*FuncInfo),
+		Callees: make(map[*types.Func][]*types.Func),
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				cg.Funcs[fn] = &FuncInfo{Fn: fn, Decl: fd, Pkg: pkg}
+			}
+		}
+	}
+	// Cross-package calls resolve through full names: each root package is
+	// type-checked in its own universe with bodiless imports, so the callee
+	// object a caller sees for an imported function differs from the one
+	// its defining package declared. When both are loaded as roots, the
+	// name bridges them and the edge lands on the defining package's node.
+	byName := make(map[string]*FuncInfo, len(cg.Funcs))
+	for fn, fi := range cg.Funcs {
+		byName[fn.FullName()] = fi
+	}
+	for fn, fi := range cg.Funcs {
+		seen := make(map[*types.Func]bool)
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee, ok := CalleeObject(fi.Pkg.Info, call).(*types.Func)
+			if !ok {
+				return true
+			}
+			if _, inGraph := cg.Funcs[callee]; !inGraph {
+				target, ok := byName[callee.FullName()]
+				if !ok {
+					return true
+				}
+				callee = target.Fn
+			}
+			if !seen[callee] {
+				seen[callee] = true
+				cg.Callees[fn] = append(cg.Callees[fn], callee)
+			}
+			return true
+		})
+	}
+	return cg
+}
+
+// BottomUp returns the graph's strongly connected components in
+// dependency order: every SCC appears after all SCCs it calls into, so a
+// summarizer visiting them in slice order always sees callee summaries
+// before caller ones (mutual recursion shares one SCC and must be
+// handled by fixpoint or pessimism within it).
+func (cg *CallGraph) BottomUp() [][]*FuncInfo {
+	// Tarjan's algorithm, iterative to survive deep call chains. Tarjan
+	// emits SCCs in reverse topological order of the condensation — for
+	// call edges caller→callee that is exactly callee-first, which is the
+	// bottom-up order summaries need.
+	index := make(map[*types.Func]int)
+	lowlink := make(map[*types.Func]int)
+	onStack := make(map[*types.Func]bool)
+	var stack []*types.Func
+	var sccs [][]*FuncInfo
+	next := 0
+
+	// Deterministic node order: by position of the declaration.
+	nodes := make([]*types.Func, 0, len(cg.Funcs))
+	for fn := range cg.Funcs {
+		nodes = append(nodes, fn)
+	}
+	sortFuncsByPos(cg, nodes)
+
+	type frame struct {
+		fn *types.Func
+		ci int // next callee index to visit
+	}
+	for _, root := range nodes {
+		if _, visited := index[root]; visited {
+			continue
+		}
+		var frames []frame
+		index[root] = next
+		lowlink[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		frames = append(frames, frame{fn: root})
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			callees := cg.Callees[f.fn]
+			if f.ci < len(callees) {
+				c := callees[f.ci]
+				f.ci++
+				if _, visited := index[c]; !visited {
+					index[c] = next
+					lowlink[c] = next
+					next++
+					stack = append(stack, c)
+					onStack[c] = true
+					frames = append(frames, frame{fn: c})
+				} else if onStack[c] && index[c] < lowlink[f.fn] {
+					lowlink[f.fn] = index[c]
+				}
+				continue
+			}
+			// All callees visited: close the frame.
+			fn := f.fn
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := &frames[len(frames)-1]
+				if lowlink[fn] < lowlink[parent.fn] {
+					lowlink[parent.fn] = lowlink[fn]
+				}
+			}
+			if lowlink[fn] == index[fn] {
+				var scc []*FuncInfo
+				for {
+					top := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[top] = false
+					scc = append(scc, cg.Funcs[top])
+					if top == fn {
+						break
+					}
+				}
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	return sccs
+}
+
+// sortFuncsByPos orders functions by declaration position for
+// deterministic traversal (and therefore deterministic summary text).
+func sortFuncsByPos(cg *CallGraph, fns []*types.Func) {
+	sort.Slice(fns, func(i, j int) bool {
+		return cg.Funcs[fns[i]].Decl.Pos() < cg.Funcs[fns[j]].Decl.Pos()
+	})
+}

@@ -1,0 +1,291 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildTestCFG parses a function body (syntax only — BuildCFG needs no
+// type information) and builds its graph with the default classifier.
+func buildTestCFG(t *testing.T, body string) *Graph {
+	t.Helper()
+	src := "package p\n\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := f.Decls[0].(*ast.FuncDecl)
+	return BuildCFG(fd.Body, nil)
+}
+
+// callNode finds the node for the marker statement `name()`.
+func callNode(t *testing.T, g *Graph, name string) *Node {
+	t.Helper()
+	for _, n := range g.Nodes {
+		es, ok := n.Stmt.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+			return n
+		}
+	}
+	t.Fatalf("no node calling %s()", name)
+	return nil
+}
+
+// reaches reports whether to is reachable from from (inclusive: a node
+// reaches itself).
+func reaches(from, to *Node) bool {
+	seen := make(map[*Node]bool)
+	stack := []*Node{from}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == to {
+			return true
+		}
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		stack = append(stack, n.Succs...)
+	}
+	return false
+}
+
+// cyclesBack reports whether n can reach itself through at least one edge.
+func cyclesBack(n *Node) bool {
+	for _, s := range n.Succs {
+		if reaches(s, n) {
+			return true
+		}
+	}
+	return false
+}
+
+func assertReach(t *testing.T, g *Graph, from, to string, want bool) {
+	t.Helper()
+	var f *Node
+	if from == "entry" {
+		f = g.Entry
+	} else {
+		f = callNode(t, g, from)
+	}
+	var dst *Node
+	if to == "exit" {
+		dst = g.Exit
+	} else {
+		dst = callNode(t, g, to)
+	}
+	if got := reaches(f, dst); got != want {
+		t.Errorf("reaches(%s, %s) = %v, want %v", from, to, got, want)
+	}
+}
+
+func TestCFGGotoOutOfLoop(t *testing.T) {
+	g := buildTestCFG(t, `
+	for {
+		a()
+		goto done
+	}
+	b()
+done:
+	c()
+`)
+	// The goto leaves the infinite loop: a() reaches c() and the exit,
+	// but never the statement after the loop (nothing breaks to it).
+	assertReach(t, g, "a", "c", true)
+	assertReach(t, g, "a", "exit", true)
+	assertReach(t, g, "a", "b", false)
+	assertReach(t, g, "entry", "b", false)
+}
+
+func TestCFGGotoIntoLoop(t *testing.T) {
+	g := buildTestCFG(t, `
+	goto inside
+	for i := 0; i < 3; i++ {
+	inside:
+		a()
+	}
+	b()
+`)
+	// The goto lands on the labeled statement inside the loop body; from
+	// there the loop runs normally and can exit.
+	assertReach(t, g, "entry", "a", true)
+	assertReach(t, g, "a", "b", true)
+	if !cyclesBack(callNode(t, g, "a")) {
+		t.Error("loop body entered by goto does not iterate")
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	g := buildTestCFG(t, `
+outer:
+	for {
+		for {
+			a()
+			break outer
+		}
+		b()
+	}
+	c()
+`)
+	// break outer jumps past both loops: c() is reached, b() — after the
+	// inner infinite loop, which nothing breaks — is not.
+	assertReach(t, g, "a", "c", true)
+	assertReach(t, g, "a", "b", false)
+	assertReach(t, g, "entry", "b", false)
+}
+
+func TestCFGLabeledContinue(t *testing.T) {
+	g := buildTestCFG(t, `
+outer:
+	for x() {
+		for y() {
+			a()
+			continue outer
+			b()
+		}
+	}
+	c()
+`)
+	// continue outer re-enters the outer loop (the cycle back through
+	// both headers) and the statement after it stays dead.
+	assertReach(t, g, "a", "c", true)
+	assertReach(t, g, "entry", "b", false)
+	if !cyclesBack(callNode(t, g, "a")) {
+		t.Error("continue outer does not cycle back through the loop headers")
+	}
+}
+
+func TestCFGSelectDefault(t *testing.T) {
+	g := buildTestCFG(t, `
+	select {
+	case <-ch:
+		a()
+	default:
+		b()
+	}
+	c()
+`)
+	head := selectNode(t, g)
+	// With a default every successor is a case entry: no direct edge to
+	// the join (one entry per clause).
+	if len(head.Succs) != 2 {
+		t.Errorf("select-with-default head has %d successors, want 2 (one per clause)", len(head.Succs))
+	}
+	assertReach(t, g, "a", "c", true)
+	assertReach(t, g, "a", "b", false)
+	assertReach(t, g, "entry", "b", true)
+}
+
+func TestCFGSelectNoDefault(t *testing.T) {
+	g := buildTestCFG(t, `
+	select {
+	case <-ch:
+		a()
+	}
+	c()
+`)
+	head := selectNode(t, g)
+	// Without a default the head keeps a conservative edge to the join
+	// (the select may block forever; dataflows must not assume the case
+	// body ran): clause entry + join.
+	if len(head.Succs) != 2 {
+		t.Errorf("select-without-default head has %d successors, want 2 (clause + join)", len(head.Succs))
+	}
+	joinDirect := false
+	for _, s := range head.Succs {
+		if s.Stmt == nil && reaches(s, callNode(t, g, "c")) && !reaches(s, callNode(t, g, "a")) {
+			joinDirect = true
+		}
+	}
+	if !joinDirect {
+		t.Error("select-without-default head has no direct edge past the cases")
+	}
+}
+
+func selectNode(t *testing.T, g *Graph) *Node {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if _, ok := n.Stmt.(*ast.SelectStmt); ok {
+			return n
+		}
+	}
+	t.Fatal("no select node")
+	return nil
+}
+
+func TestCFGSwitchFallthroughChain(t *testing.T) {
+	g := buildTestCFG(t, `
+	switch x {
+	case 1:
+		a()
+		fallthrough
+	case 2:
+		b()
+		fallthrough
+	case 3:
+		c()
+	default:
+		d()
+	}
+	e()
+`)
+	// The chain falls 1 → 2 → 3; it never falls into default, and the
+	// switch joins after.
+	assertReach(t, g, "a", "b", true)
+	assertReach(t, g, "b", "c", true)
+	assertReach(t, g, "a", "e", true)
+	assertReach(t, g, "a", "d", false)
+	assertReach(t, g, "entry", "d", true)
+}
+
+func TestCFGPanicTerminates(t *testing.T) {
+	g := buildTestCFG(t, `
+	a()
+	panic("boom")
+	b()
+`)
+	// The default classifier knows builtin panic: no fallthrough edge.
+	assertReach(t, g, "a", "b", false)
+	assertReach(t, g, "entry", "b", false)
+}
+
+func TestCFGIfThenElseArms(t *testing.T) {
+	g := buildTestCFG(t, `
+	if cond {
+		a()
+	} else {
+		b()
+	}
+	c()
+`)
+	var ifNode *Node
+	for _, n := range g.Nodes {
+		if _, ok := n.Stmt.(*ast.IfStmt); ok {
+			ifNode = n
+			break
+		}
+	}
+	if ifNode == nil {
+		t.Fatal("no if node")
+	}
+	if ifNode.Then == nil || ifNode.Else == nil {
+		t.Fatal("if node missing Then/Else arms")
+	}
+	if !reaches(ifNode.Then, callNode(t, g, "a")) || reaches(ifNode.Then, callNode(t, g, "b")) {
+		t.Error("Then arm does not isolate the then branch")
+	}
+	if !reaches(ifNode.Else, callNode(t, g, "b")) || reaches(ifNode.Else, callNode(t, g, "a")) {
+		t.Error("Else arm does not isolate the else branch")
+	}
+}

@@ -3,6 +3,7 @@ package madvet
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 
 	"madeleine2/internal/analysis"
 )
@@ -30,20 +31,39 @@ var LeaseRelease = &analysis.Analyzer{
 	Name: "leaserelease",
 	Doc: "check that lease/token acquisition is paired with a release on every\n" +
 		"return path, including panic paths via defer",
-	Run: runLeaseRelease,
+	Run:        runLeaseRelease,
+	Summarizer: ownership,
 }
 
 func runLeaseRelease(pass *analysis.Pass) error {
 	info := pass.TypesInfo
+	facts := pass.Facts
 	funcBodies(pass.Files, func(name string, body *ast.BlockStmt) {
 		g := analysis.BuildCFG(body, analysis.TerminatingClassifier(info))
 		for _, n := range g.Nodes {
-			if site, ok := acquireSite(info, n); ok {
-				if objEscapes(info, body, site.root) {
+			site, ok := acquireSite(info, facts, n)
+			if !ok {
+				continue
+			}
+			if site.kind == obRegion {
+				// First-class region value: the interprocedural rules apply
+				// (transfer by return, settle by store or releasing callee).
+				sc := scanOwnUses(info, facts, body, site.root, obRegion, true)
+				if !sc.trackable {
 					continue
 				}
-				runLeaseFlow(pass, g, n, site)
+				for _, st := range sc.stores {
+					if !typeSettles(facts, st.owner, st.field, obRegion) {
+						pass.Reportf(st.pos, "%s is stored into %s.%s, but no method of that type reaches Deregister: the pinned pages leak with the stored value",
+							site.what, namedTypeName(st.owner), st.field)
+					}
+				}
+			} else if objEscapes(info, body, site.root) {
+				// Path-named tokens (cs.send, lt.lease) are not first-class
+				// values; an escaping holder keeps the old exemption.
+				continue
 			}
+			runLeaseFlow(pass, facts, g, n, site)
 		}
 	})
 	return nil
@@ -51,17 +71,18 @@ func runLeaseRelease(pass *analysis.Pass) error {
 
 // leaseSite describes one acquisition: the path expression that names the
 // token ("cs.send", "lt.lease"), its root object for escape analysis, the
-// release method names, and the optional ok-guard.
+// release method names, the obligation kind, and the optional ok-guard.
 type leaseSite struct {
 	path     string
 	root     types.Object
 	releases []string
+	kind     analysis.Obligation
 	guard    guardSpec
 	what     string
 }
 
 // acquireSite recognizes an acquisition statement.
-func acquireSite(info *types.Info, n *analysis.Node) (leaseSite, bool) {
+func acquireSite(info *types.Info, facts *analysis.Facts, n *analysis.Node) (leaseSite, bool) {
 	switch s := n.Stmt.(type) {
 	case *ast.ExprStmt:
 		// x.acquire(...) with a matching release on the same type.
@@ -73,7 +94,7 @@ func acquireSite(info *types.Info, n *analysis.Node) (leaseSite, bool) {
 					if path == "" {
 						return leaseSite{}, false
 					}
-					return leaseSite{path: path, root: root, releases: []string{"release"}, what: "lease acquired by " + path + ".acquire"}, true
+					return leaseSite{path: path, root: root, releases: []string{"release"}, kind: obLease, what: "lease acquired by " + path + ".acquire"}, true
 				}
 			}
 		}
@@ -87,7 +108,7 @@ func acquireSite(info *types.Info, n *analysis.Node) (leaseSite, bool) {
 		}
 		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 		if !ok {
-			return leaseSite{}, false
+			return summaryRegionSite(info, facts, s, call)
 		}
 		switch sel.Sel.Name {
 		case "Pop":
@@ -108,6 +129,7 @@ func acquireSite(info *types.Info, n *analysis.Node) (leaseSite, bool) {
 				path:     path,
 				root:     root,
 				releases: []string{"Push", "PushIfOpen"},
+				kind:     obToken,
 				guard:    guard,
 				what:     "link token popped from " + path,
 			}, true
@@ -134,15 +156,48 @@ func acquireSite(info *types.Info, n *analysis.Node) (leaseSite, bool) {
 				path:     id.Name,
 				root:     obj,
 				releases: []string{"Deregister"},
+				kind:     obRegion,
 				guard:    guard,
 				what:     "region " + id.Name + " pinned by Register",
 			}, true
+		default:
+			return summaryRegionSite(info, facts, s, call)
 		}
 	}
 	return leaseSite{}, false
 }
 
-func runLeaseFlow(pass *analysis.Pass, g *analysis.Graph, acquire *analysis.Node, site leaseSite) {
+// summaryRegionSite recognizes an acquisition through a helper whose
+// summary says its first result carries a pinned-region obligation:
+// `rings, err := setupRings(...)` is a Register at this call site.
+func summaryRegionSite(info *types.Info, facts *analysis.Facts, s *ast.AssignStmt, call *ast.CallExpr) (leaseSite, bool) {
+	kinds := summaryAcquireKinds(info, facts, call)
+	if len(kinds) == 0 || kinds[0] != obRegion {
+		return leaseSite{}, false
+	}
+	id, ok := ast.Unparen(s.Lhs[0]).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return leaseSite{}, false
+	}
+	obj := defObj(info, id)
+	if obj == nil {
+		return leaseSite{}, false
+	}
+	var guard guardSpec
+	if len(s.Lhs) == 2 {
+		guard = guardSpec{obj: defObj(info, s.Lhs[1]), failMode: pairFree}
+	}
+	return leaseSite{
+		path:     id.Name,
+		root:     obj,
+		releases: []string{"Deregister"},
+		kind:     obRegion,
+		guard:    guard,
+		what:     "region " + id.Name + " pinned by " + calleeName(info, call),
+	}, true
+}
+
+func runLeaseFlow(pass *analysis.Pass, facts *analysis.Facts, g *analysis.Graph, acquire *analysis.Node, site leaseSite) {
 	info := pass.TypesInfo
 	pc := &pairCheck{
 		g:       g,
@@ -151,13 +206,24 @@ func runLeaseFlow(pass *analysis.Pass, g *analysis.Graph, acquire *analysis.Node
 		guard:   site.guard,
 		classify: func(stmt ast.Stmt) pairEvent {
 			if d, ok := stmt.(*ast.DeferStmt); ok {
-				if stmtReleasesPath(info, d, site.path, site.releases) {
+				if stmtReleasesPath(info, d, site.path, site.releases) ||
+					stmtSettlesSubpath(info, facts, d, site) {
 					return pairEvent{kind: pairEvDeferRelease}
 				}
 				return pairEvent{kind: pairEvNone}
 			}
 			if stmtReleasesPath(info, stmt, site.path, site.releases) {
 				return pairEvent{kind: pairEvRelease}
+			}
+			// Delegated release: a method of the holder whose summary
+			// settles this subpath (`lt.done()` pushing lt.lease back).
+			if stmtSettlesSubpath(info, facts, stmt, site) {
+				return pairEvent{kind: pairEvRelease}
+			}
+			if site.kind == obRegion {
+				// First-class region: transfer by return, settle by store
+				// or by a callee that deregisters its parameter.
+				return interprocEvent(info, facts, stmt, site.root, obRegion)
 			}
 			return pairEvent{kind: pairEvNone}
 		},
@@ -171,6 +237,52 @@ func runLeaseFlow(pass *analysis.Pass, g *analysis.Graph, acquire *analysis.Node
 		},
 	}
 	pc.run()
+}
+
+// stmtSettlesSubpath recognizes a delegated release: a method call on the
+// holder whose summary settles the acquired subpath (`lt.done()` where
+// done's receiver summary pushes ".lease" back).
+func stmtSettlesSubpath(info *types.Info, facts *analysis.Facts, stmt ast.Stmt, site leaseSite) bool {
+	if site.root == nil {
+		return false
+	}
+	rootName := site.root.Name()
+	rel := strings.TrimPrefix(site.path, rootName)
+	if rel == site.path || rel == "" {
+		return false // path not rooted at an identifier, or no subpath
+	}
+	found := false
+	stmtHeaderScan(stmt, func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); !ok || info.Uses[id] != site.root {
+				return true
+			}
+			fn, ok := analysis.CalleeObject(info, call).(*types.Func)
+			if !ok {
+				return true
+			}
+			if s := facts.Summary(fn); s != nil && s.ParamAt(0).Subpaths[rel] == site.kind {
+				found = true
+				return false
+			}
+			return true
+		})
+	})
+	return found
 }
 
 // stmtReleasesPath reports whether the statement (header-only for

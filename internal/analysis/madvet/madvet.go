@@ -6,6 +6,7 @@
 //	reqpair      async Submit* requests drained (CQ/callback) or Discarded
 //	modeflags    statically invalid Pack/Unpack mode combinations (Table 1)
 //	leaserelease lease/token acquire paired with release on every path
+//	blockhold    no indefinite blocking while a lease or mutex is held
 //	virtualtime  no real clock in internal/ packages (vclock only)
 //	detrand      no global or time-seeded math/rand outside tests
 //	tmident      TM wrapping only at the observer chokepoint
@@ -14,6 +15,12 @@
 // Each analyzer matches the library's API shapes structurally (package
 // named "core", method names, field names), so the analysistest fixtures
 // can model them with small stub packages.
+//
+// The pairing analyzers and blockhold share one interprocedural
+// Summarizer (ownership.go): per-function ownership and may-block facts
+// computed bottom-up over the call graph before any analyzer runs, which
+// lets them follow a resource that is returned, stored, or passed to a
+// callee instead of exempting it.
 package madvet
 
 import (
@@ -30,6 +37,7 @@ var Analyzers = []*analysis.Analyzer{
 	ReqPair,
 	ModeFlags,
 	LeaseRelease,
+	BlockHold,
 	VirtualTime,
 	DetRand,
 	TMIdent,
@@ -54,6 +62,29 @@ func isCoreMethod(info *types.Info, call *ast.CallExpr, names ...string) (recv a
 	}
 	for _, n := range names {
 		if obj.Name() == n {
+			return sel.X, n, true
+		}
+	}
+	return nil, "", false
+}
+
+// isMethodNamed is isCoreMethod without the package anchor. Events on an
+// already-tracked object — Pack/Unpack/End on the value a Begin handed
+// out, Discard on a submitted request — match by name alone, so a policy
+// wrapper that re-implements a core method around an embedded Connection
+// (marcel.Conn.Unpack) carries the same contract. Acquisitions stay
+// core-anchored (or summary-proven): only the anchor creates tracking.
+func isMethodNamed(info *types.Info, call *ast.CallExpr, names ...string) (recv ast.Expr, name string, ok bool) {
+	sel, okSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !okSel {
+		return nil, "", false
+	}
+	selection, okSelection := info.Selections[sel]
+	if !okSelection || selection.Kind() != types.MethodVal {
+		return nil, "", false
+	}
+	for _, n := range names {
+		if selection.Obj().Name() == n {
 			return sel.X, n, true
 		}
 	}

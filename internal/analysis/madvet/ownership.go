@@ -1,0 +1,1035 @@
+package madvet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"madeleine2/internal/analysis"
+)
+
+// ownership is the suite's shared Summarizer: it computes, per function in
+// bottom-up call-graph order, what the function does with the library's
+// ownership-shaped values — the Connection of an open message, the Request
+// of a submitted async operation, the Region of pinned memory — plus the
+// may-block and drains-CQ bits the blockhold and reqpair analyzers need.
+//
+// The summaries let the pairing analyzers follow ownership across calls
+// instead of exempting any value that leaves the function:
+//
+//   - returned → the caller inherits the obligation (the call site becomes
+//     an acquire site in the caller);
+//   - passed to a callee → the callee's summary decides (a ParamReleases
+//     callee is a release event; an unknown callee restores the old
+//     wholesale exemption);
+//   - stored into a struct field → some method of that type must release
+//     it, or the store is reported.
+//
+// Soundness policy: false negatives are acceptable, false positives are
+// not. Anything unresolvable (interface calls, function values, bodiless
+// packages, in-SCC recursion) degrades to "unknown", which analyzers treat
+// as the pre-interprocedural exemption.
+var ownership analysis.Summarizer = &ownSummarizer{}
+
+type ownSummarizer struct{}
+
+// The obligation kinds the suite tracks. The msg kinds ride the
+// Begin/End message scope, async-req the Submit/Discard-or-drain
+// contract, mem-region the Register/Deregister pin lease; dir-lease and
+// queue-token only appear as receiver subpaths (they are named by path,
+// not held by a first-class value).
+const (
+	obSend   analysis.Obligation = "msg-send"
+	obRecv   analysis.Obligation = "msg-recv"
+	obReq    analysis.Obligation = "async-req"
+	obRegion analysis.Obligation = "mem-region"
+	obLease  analysis.Obligation = "dir-lease"
+	obToken  analysis.Obligation = "queue-token"
+)
+
+// releaseKindOfMethod maps a release-shaped method name to the obligation
+// it settles on its receiver.
+var releaseKindOfMethod = map[string]analysis.Obligation{
+	"EndPacking":   obSend,
+	"EndUnpacking": obRecv,
+	"Discard":      obReq,
+	"Deregister":   obRegion,
+}
+
+// endOfKind is the inverse: the method that settles each first-class kind.
+func endOfKind(kind analysis.Obligation) string {
+	for name, k := range releaseKindOfMethod {
+		if k == kind {
+			return name
+		}
+	}
+	return ""
+}
+
+func kindOfBegin(begin string) analysis.Obligation {
+	if begin == "BeginPacking" {
+		return obSend
+	}
+	return obRecv
+}
+
+func (*ownSummarizer) Summarize(fi *analysis.FuncInfo, facts *analysis.Facts) {
+	info := fi.Pkg.Info
+	body := fi.Body()
+	s := &analysis.Summary{}
+	s.MayBlock, s.BlockWhy = bodyMayBlock(info, facts, body)
+	s.DrainsCQ = bodyDrainsCQ(info, facts, body)
+	summarizeParams(fi, facts, s)
+	summarizeResults(fi, facts, s)
+	facts.SetSummary(fi.Fn, s)
+}
+
+// paramObjs lists the function's parameter objects in summary slot order:
+// receiver first for methods, then declared parameters. Unnamed and blank
+// slots are nil (they cannot carry an obligation anywhere).
+func paramObjs(fi *analysis.FuncInfo) []types.Object {
+	info := fi.Pkg.Info
+	var out []types.Object
+	one := func(names []*ast.Ident) {
+		if len(names) == 0 {
+			out = append(out, nil)
+			return
+		}
+		for _, name := range names {
+			if name.Name == "_" {
+				out = append(out, nil)
+				continue
+			}
+			out = append(out, info.Defs[name])
+		}
+	}
+	if fi.Decl.Recv != nil {
+		for _, f := range fi.Decl.Recv.List {
+			one(f.Names)
+		}
+	}
+	if fi.Decl.Type.Params != nil {
+		for _, f := range fi.Decl.Type.Params.List {
+			one(f.Names)
+		}
+	}
+	return out
+}
+
+// summarizeParams computes the per-parameter effects: escape analysis
+// first (an escaping parameter is ParamEscapes — claiming anything
+// stronger could be wrong), then an all-paths release proof per candidate
+// kind using the same pairCheck dataflow the analyzers run.
+func summarizeParams(fi *analysis.FuncInfo, facts *analysis.Facts, s *analysis.Summary) {
+	objs := paramObjs(fi)
+	if len(objs) == 0 {
+		return
+	}
+	info := fi.Pkg.Info
+	body := fi.Body()
+	s.Params = make([]analysis.Param, len(objs))
+	var g *analysis.Graph
+	for i, obj := range objs {
+		if obj == nil {
+			continue
+		}
+		sc := scanOwnUses(info, facts, body, obj, "", false)
+		if !sc.trackable {
+			s.Params[i].Effect = analysis.ParamEscapes
+			continue
+		}
+		for _, kind := range sc.kinds {
+			if g == nil {
+				g = analysis.BuildCFG(body, analysis.TerminatingClassifier(info))
+			}
+			if releasedOnAllPaths(g, info, facts, obj, kind) {
+				s.Params[i] = analysis.Param{Effect: analysis.ParamReleases, Kind: kind}
+				break
+			}
+		}
+	}
+	if fi.Decl.Recv != nil && objs[0] != nil {
+		if sp := receiverSubpaths(info, body, objs[0]); len(sp) > 0 {
+			s.Params[0].Subpaths = sp
+		}
+	}
+}
+
+// releasedOnAllPaths proves the parameter's obligation is settled on every
+// path from entry to exit.
+func releasedOnAllPaths(g *analysis.Graph, info *types.Info, facts *analysis.Facts, obj types.Object, kind analysis.Obligation) bool {
+	ok := true
+	pc := &pairCheck{
+		g:       g,
+		info:    info,
+		acquire: g.Entry,
+		classify: func(stmt ast.Stmt) pairEvent {
+			return classifyOwnedStmt(info, facts, stmt, obj, kind)
+		},
+		leak: func(*analysis.Node) { ok = false },
+	}
+	pc.run()
+	return ok
+}
+
+// classifyOwnedStmt is the kind-dispatched statement classifier: the
+// analyzer's intraprocedural recognizers for the kind, then the
+// interprocedural events (transfer by return, settle by store, release by
+// callee).
+func classifyOwnedStmt(info *types.Info, facts *analysis.Facts, stmt ast.Stmt, obj types.Object, kind analysis.Obligation) pairEvent {
+	switch kind {
+	case obSend, obRecv:
+		if ev := classifyConnStmt(info, stmt, obj, endOfKind(kind)); ev.kind != pairEvNone {
+			return ev
+		}
+	case obReq:
+		if ev := classifyReqStmt(info, stmt, obj); ev.kind != pairEvNone {
+			return ev
+		}
+	case obRegion:
+		if d, ok := stmt.(*ast.DeferStmt); ok {
+			if stmtCallsMethodOn(info, d, obj, "Deregister") {
+				return pairEvent{kind: pairEvDeferRelease}
+			}
+		} else if stmtCallsMethodOn(info, stmt, obj, "Deregister") {
+			return pairEvent{kind: pairEvRelease}
+		}
+	}
+	return interprocEvent(info, facts, stmt, obj, kind)
+}
+
+// interprocEvent recognizes the summary-powered settle events on the
+// tracked value: ownership transferred to the caller by return, stored
+// into a structure (the store scan already judged the structure), or
+// passed to a callee whose summary releases it. Statements that merely
+// use the value keep the obligation with this function.
+func interprocEvent(info *types.Info, facts *analysis.Facts, stmt ast.Stmt, obj types.Object, kind analysis.Obligation) pairEvent {
+	if d, ok := stmt.(*ast.DeferStmt); ok {
+		if callReleasesArg(info, facts, d.Call, obj, kind) {
+			return pairEvent{kind: pairEvDeferRelease}
+		}
+		return pairEvent{kind: pairEvNone}
+	}
+	if rs, ok := stmt.(*ast.ReturnStmt); ok && returnCarries(info, rs, obj) {
+		return pairEvent{kind: pairEvRelease}
+	}
+	if stmtStoresObj(info, stmt, obj) {
+		return pairEvent{kind: pairEvRelease}
+	}
+	settled := false
+	stmtHeaderScan(stmt, func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			if settled {
+				return false
+			}
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok && callReleasesArg(info, facts, call, obj, kind) {
+				settled = true
+				return false
+			}
+			return true
+		})
+	})
+	if !settled && kind == obReq && stmtCallsDrainer(info, facts, stmt) {
+		settled = true
+	}
+	if settled {
+		return pairEvent{kind: pairEvRelease}
+	}
+	return pairEvent{kind: pairEvNone}
+}
+
+// callReleasesArg reports whether the call passes obj as an argument to a
+// callee whose summary releases that parameter with the right kind.
+func callReleasesArg(info *types.Info, facts *analysis.Facts, call *ast.CallExpr, obj types.Object, kind analysis.Obligation) bool {
+	for i, arg := range call.Args {
+		id, ok := ast.Unparen(arg).(*ast.Ident)
+		if !ok || info.Uses[id] != obj {
+			continue
+		}
+		if p := calleeParam(info, facts, call, i); p != nil &&
+			p.Effect == analysis.ParamReleases && (kind == "" || p.Kind == kind) {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeParam resolves the callee's summarized effect on argument argIdx,
+// accounting for the receiver slot of method calls; nil means unknown
+// (unresolvable callee, no summary, variadic overflow).
+func calleeParam(info *types.Info, facts *analysis.Facts, call *ast.CallExpr, argIdx int) *analysis.Param {
+	fn, ok := analysis.CalleeObject(info, call).(*types.Func)
+	if !ok {
+		return nil
+	}
+	s := facts.Summary(fn)
+	if s == nil {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	idx := argIdx
+	slots := sig.Params().Len()
+	if sig.Recv() != nil {
+		slots++
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if selection, ok := info.Selections[sel]; ok && selection.Kind() == types.MethodVal {
+				idx = argIdx + 1 // args start after the receiver slot
+			}
+		}
+	}
+	if sig.Variadic() && idx >= slots-1 {
+		return nil // element of the variadic slice: the summary cannot see it
+	}
+	if idx >= len(s.Params) {
+		return nil
+	}
+	p := s.ParamAt(idx)
+	return &p
+}
+
+// returnCarries reports whether the return statement hands obj to the
+// caller — directly, or wrapped in a composite literal result
+// (`return &Conn{Connection: conn, ...}, nil`).
+func returnCarries(info *types.Info, rs *ast.ReturnStmt, obj types.Object) bool {
+	for _, r := range rs.Results {
+		if id, ok := ast.Unparen(r).(*ast.Ident); ok && info.Uses[id] == obj {
+			return true
+		}
+		if lit := compositeOf(r); lit != nil && compositeUses(info, lit, obj) {
+			return true
+		}
+	}
+	return false
+}
+
+// compositeOf unwraps `T{...}` and `&T{...}` result expressions.
+func compositeOf(e ast.Expr) *ast.CompositeLit {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		e = ast.Unparen(u.X)
+	}
+	lit, _ := e.(*ast.CompositeLit)
+	return lit
+}
+
+func compositeUses(info *types.Info, lit *ast.CompositeLit, obj types.Object) bool {
+	for _, el := range lit.Elts {
+		v := el
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			v = kv.Value
+		}
+		if id, ok := ast.Unparen(v).(*ast.Ident); ok && info.Uses[id] == obj {
+			return true
+		}
+	}
+	return false
+}
+
+// stmtStoresObj reports whether the statement stores obj into a struct —
+// a field assignment or a composite literal. The trackability pre-scan
+// already validated (or reported) the store, so here it just ends the
+// obligation in this function.
+func stmtStoresObj(info *types.Info, stmt ast.Stmt, obj types.Object) bool {
+	if as, ok := stmt.(*ast.AssignStmt); ok && len(as.Lhs) == len(as.Rhs) {
+		for i, r := range as.Rhs {
+			if id, ok := ast.Unparen(r).(*ast.Ident); ok && info.Uses[id] == obj {
+				if _, ok := ast.Unparen(as.Lhs[i]).(*ast.SelectorExpr); ok {
+					return true
+				}
+			}
+		}
+	}
+	found := false
+	stmtHeaderScan(stmt, func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			if lit, ok := n.(*ast.CompositeLit); ok && compositeUses(info, lit, obj) {
+				found = true
+				return false
+			}
+			return true
+		})
+	})
+	return found
+}
+
+// stmtCallsDrainer reports whether the statement calls a function whose
+// summary drains a completion queue (the interprocedural extension of
+// stmtDrainsCQ).
+func stmtCallsDrainer(info *types.Info, facts *analysis.Facts, stmt ast.Stmt) bool {
+	found := false
+	stmtHeaderScan(stmt, func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn, ok := analysis.CalleeObject(info, call).(*types.Func); ok {
+				if s := facts.Summary(fn); s != nil && s.DrainsCQ {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+	})
+	return found
+}
+
+// stmtCallsMethodOn is stmtCallsConnMethod without the core-package
+// restriction: any method of the given name whose receiver chain roots at
+// obj (the Deregister shape lives in driver packages, not core).
+func stmtCallsMethodOn(info *types.Info, stmt ast.Stmt, obj types.Object, names ...string) bool {
+	found := false
+	stmtHeaderScan(stmt, func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			for _, name := range names {
+				if sel.Sel.Name == name && recvRootObj(info, sel.X) == obj {
+					if selection, ok := info.Selections[sel]; ok && selection.Kind() == types.MethodVal {
+						found = true
+						return false
+					}
+				}
+			}
+			return true
+		})
+	})
+	return found
+}
+
+// stmtHeaderScan invokes scan on the expressions the statement itself
+// evaluates: the full subtree for simple statements, header expressions
+// only for compound ones (their bodies are separate CFG nodes and must
+// not leak into a node's classification).
+func stmtHeaderScan(stmt ast.Stmt, scan func(ast.Node)) {
+	switch s := stmt.(type) {
+	case *ast.IfStmt:
+		scan(s.Cond)
+	case *ast.ForStmt:
+		if s.Cond != nil {
+			scan(s.Cond)
+		}
+	case *ast.RangeStmt:
+		scan(s.X)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			scan(s.Init)
+		}
+		if s.Tag != nil {
+			scan(s.Tag)
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			scan(s.Init)
+		}
+		scan(s.Assign)
+	case *ast.SelectStmt, *ast.BlockStmt, *ast.LabeledStmt:
+		// Bodies are separate nodes; nothing evaluates at the header.
+	default:
+		scan(stmt)
+	}
+}
+
+// ownStore records one "stored into a struct field" use found by the
+// pre-scan; the analyzer checks whether the owning type settles it.
+type ownStore struct {
+	pos   token.Pos
+	owner types.Type
+	field string
+}
+
+// ownScan is the result of the trackability pre-scan over one value.
+type ownScan struct {
+	// trackable: every use of the value is one the dataflow understands
+	// (method calls, resolvable callee arguments, returns/stores when
+	// transferable). False restores the old wholesale exemption.
+	trackable bool
+	stores    []ownStore
+	// kinds are the candidate obligations the body may settle on the
+	// value (direct release methods, releasing callees), in a fixed
+	// deterministic order.
+	kinds []analysis.Obligation
+}
+
+// scanOwnUses classifies every use of obj in the body. kind narrows
+// argument passing to callees settling that obligation ("" accepts any,
+// for parameter summarization); transferable permits returns and struct
+// stores (true for locals the analyzers track — a return is a transfer to
+// the caller — false for parameters, where a return means escape).
+func scanOwnUses(info *types.Info, facts *analysis.Facts, body *ast.BlockStmt, obj types.Object, kind analysis.Obligation, transferable bool) ownScan {
+	res := ownScan{trackable: true}
+	kindSeen := make(map[analysis.Obligation]bool)
+	addKind := func(k analysis.Obligation) {
+		if k != "" && !kindSeen[k] {
+			kindSeen[k] = true
+			res.kinds = append(res.kinds, k)
+		}
+	}
+	benign := make(map[*ast.Ident]bool)
+	returned := make(map[*ast.CompositeLit]bool)
+	usesObj := func(e ast.Expr) *ast.Ident {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok && info.Uses[id] == obj {
+			return id
+		}
+		return nil
+	}
+	anyUse := func(n ast.Node) bool {
+		used := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok && info.Uses[id] == obj {
+				used = true
+			}
+			return !used
+		})
+		return used
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if !res.trackable {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Captured by a closure whose call sites the CFG cannot place.
+			if anyUse(n.Body) {
+				res.trackable = false
+			}
+			return false
+		case *ast.GoStmt:
+			// Handed to a goroutine: concurrent ownership is not tracked.
+			if anyUse(n.Call) {
+				res.trackable = false
+			}
+			return false
+		case *ast.SelectorExpr:
+			if id := usesObj(n.X); id != nil {
+				benign[id] = true // method call or field read on the value
+				if k, ok := releaseKindOfMethod[n.Sel.Name]; ok {
+					addKind(k)
+				}
+			}
+			return true
+		case *ast.CallExpr:
+			for i, arg := range n.Args {
+				id := usesObj(arg)
+				if id == nil {
+					continue
+				}
+				p := calleeParam(info, facts, n, i)
+				switch {
+				case p == nil:
+					res.trackable = false // unknown callee
+					return false
+				case p.Effect == analysis.ParamEscapes:
+					res.trackable = false // callee moves it somewhere opaque
+					return false
+				case p.Effect == analysis.ParamReleases:
+					if kind != "" && p.Kind != kind {
+						res.trackable = false // settles a different discipline
+						return false
+					}
+					addKind(p.Kind)
+				}
+				benign[id] = true // ParamNone: callee only uses it
+			}
+			return true
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if !transferable {
+					continue // params: a returned use is an escape (generic case)
+				}
+				if id := usesObj(r); id != nil {
+					benign[id] = true // ownership transfers to the caller
+					continue
+				}
+				if lit := compositeOf(r); lit != nil && compositeUses(info, lit, obj) {
+					returned[lit] = true
+				}
+			}
+			return true
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, r := range n.Rhs {
+				id := usesObj(r)
+				if id == nil {
+					continue
+				}
+				lhs := ast.Unparen(n.Lhs[i])
+				sel, ok := lhs.(*ast.SelectorExpr)
+				if !ok || !transferable {
+					// Plain alias, blank, index store, or a parameter being
+					// stored: give up (old exemption / escape).
+					res.trackable = false
+					return false
+				}
+				owner := info.TypeOf(sel.X)
+				if !namedStruct(owner) {
+					res.trackable = false
+					return false
+				}
+				benign[id] = true
+				res.stores = append(res.stores, ownStore{pos: r.Pos(), owner: owner, field: sel.Sel.Name})
+			}
+			return true
+		case *ast.CompositeLit:
+			transfer := returned[n]
+			st, isStruct := structOf(info.TypeOf(n))
+			for ei, el := range n.Elts {
+				v := el
+				field := ""
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+					if key, ok := kv.Key.(*ast.Ident); ok {
+						field = key.Name
+					}
+				} else if isStruct && ei < st.NumFields() {
+					field = st.Field(ei).Name()
+				}
+				id := usesObj(v)
+				if id == nil {
+					continue
+				}
+				if transfer {
+					benign[id] = true // part of a returned wrapper: a transfer
+					continue
+				}
+				if !transferable || !isStruct || field == "" {
+					res.trackable = false
+					return false
+				}
+				benign[id] = true
+				res.stores = append(res.stores, ownStore{pos: v.Pos(), owner: info.TypeOf(n), field: field})
+			}
+			return true
+		case *ast.Ident:
+			if info.Uses[n] == obj && !benign[n] {
+				res.trackable = false
+				return false
+			}
+		}
+		return true
+	})
+	return res
+}
+
+func namedStruct(t types.Type) bool {
+	_, ok := structOf(t)
+	return ok
+}
+
+// structOf resolves the (possibly pointer-to) named struct type.
+func structOf(t types.Type) (*types.Struct, bool) {
+	if t == nil {
+		return nil, false
+	}
+	named, ok := derefType(t).(*types.Named)
+	if !ok {
+		return nil, false
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	return st, ok
+}
+
+// typeSettles reports whether the type that received a stored resource can
+// discharge its obligation: the container re-exposes the resource's own
+// release method (an embedded Connection promotes EndPacking — the
+// container is itself the releasable value), some method releases the
+// field's subpath, or some method releases the whole receiver with that
+// kind.
+func typeSettles(facts *analysis.Facts, owner types.Type, field string, kind analysis.Obligation) bool {
+	t := derefType(owner)
+	if hasMethod(t, endOfKind(kind)) {
+		return true
+	}
+	ms := types.NewMethodSet(types.NewPointer(t))
+	for i := 0; i < ms.Len(); i++ {
+		fn, ok := ms.At(i).Obj().(*types.Func)
+		if !ok {
+			continue
+		}
+		s := facts.Summary(fn)
+		if s == nil {
+			continue
+		}
+		p := s.ParamAt(0)
+		if p.Subpaths["."+field] == kind {
+			return true
+		}
+		if p.Effect == analysis.ParamReleases && p.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// summaryAcquireKinds resolves the obligations a call's results carry:
+// name-based for the core API itself, summary-based for helpers that
+// transfer ownership to their caller.
+func summaryAcquireKinds(info *types.Info, facts *analysis.Facts, call *ast.CallExpr) []analysis.Obligation {
+	if _, begin, ok := isCoreMethod(info, call, "BeginPacking", "BeginUnpacking"); ok {
+		return []analysis.Obligation{kindOfBegin(begin)}
+	}
+	if _, _, ok := isCoreMethod(info, call, submitMethods...); ok {
+		return []analysis.Obligation{obReq}
+	}
+	// Register on any receiver whose first result can Deregister: the
+	// registered-memory lease. Name-based like Begin*, but matched by
+	// result shape because each one-sided driver defines its own region
+	// type rather than sharing a core one.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Register" {
+		if t := firstResultType(info, call); t != nil && hasMethod(t, "Deregister") {
+			return []analysis.Obligation{obRegion}
+		}
+	}
+	if fn, ok := analysis.CalleeObject(info, call).(*types.Func); ok {
+		if s := facts.Summary(fn); s != nil {
+			return s.Results
+		}
+	}
+	return nil
+}
+
+// firstResultType is the type of a call's first result (the call's type
+// itself for single-result calls), nil when untyped.
+func firstResultType(info *types.Info, call *ast.CallExpr) types.Type {
+	switch t := info.TypeOf(call).(type) {
+	case *types.Tuple:
+		if t.Len() > 0 {
+			return t.At(0).Type()
+		}
+		return nil
+	default:
+		return t
+	}
+}
+
+// summarizeResults records which results carry an obligation the caller
+// inherits: an acquired value (or a wrapper around one) that some return
+// statement hands out.
+func summarizeResults(fi *analysis.FuncInfo, facts *analysis.Facts, s *analysis.Summary) {
+	sig, ok := fi.Fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	nres := sig.Results().Len()
+	if nres == 0 {
+		return
+	}
+	info := fi.Pkg.Info
+
+	// Owned locals: results of acquire-shaped calls bound to identifiers.
+	owned := make(map[types.Object]analysis.Obligation)
+	inspectSkippingFuncLits(fi.Body(), func(n ast.Node) {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		for i, kind := range summaryAcquireKinds(info, facts, call) {
+			if kind == "" || i >= len(as.Lhs) {
+				continue
+			}
+			if obj := defObj(info, as.Lhs[i]); obj != nil {
+				owned[obj] = kind
+			}
+		}
+	})
+
+	var results []analysis.Obligation
+	set := func(i int, kind analysis.Obligation) {
+		if kind == "" || i >= nres {
+			return
+		}
+		if results == nil {
+			results = make([]analysis.Obligation, nres)
+		}
+		if results[i] == "" {
+			results[i] = kind
+		}
+	}
+	inspectSkippingFuncLits(fi.Body(), func(n ast.Node) {
+		rs, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return
+		}
+		if len(rs.Results) == 1 && nres > 1 {
+			// return f(...): the forwarded call's results map one-to-one.
+			if call, ok := ast.Unparen(rs.Results[0]).(*ast.CallExpr); ok {
+				for i, kind := range summaryAcquireKinds(info, facts, call) {
+					set(i, kind)
+				}
+			}
+			return
+		}
+		for i, r := range rs.Results {
+			r := ast.Unparen(r)
+			if id, ok := r.(*ast.Ident); ok {
+				set(i, owned[info.Uses[id]])
+				continue
+			}
+			if call, ok := r.(*ast.CallExpr); ok {
+				if kinds := summaryAcquireKinds(info, facts, call); len(kinds) > 0 {
+					set(i, kinds[0])
+				}
+				continue
+			}
+			if lit := compositeOf(r); lit != nil {
+				for obj, kind := range owned {
+					if compositeUses(info, lit, obj) {
+						set(i, kind)
+						break
+					}
+				}
+			}
+		}
+	})
+	s.Results = results
+}
+
+// inspectSkippingFuncLits walks the body without descending into function
+// literals: their returns and acquisitions belong to the literal, not to
+// the enclosing declaration.
+func inspectSkippingFuncLits(body *ast.BlockStmt, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// receiverSubpaths records the selector paths under the receiver on which
+// the method settles an obligation (`lt.lease.Push(tok)` → ".lease" is a
+// queue-token release). Existence on some path is enough: the facts are
+// used to prove a type can release a stored resource and to recognize a
+// delegated release, both of which tolerate false negatives only.
+func receiverSubpaths(info *types.Info, body *ast.BlockStmt, recv types.Object) map[string]analysis.Obligation {
+	var out map[string]analysis.Obligation
+	rootName := recv.Name()
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		path, root := exprPath(info, sel.X)
+		if root != recv || !strings.HasPrefix(path, rootName+".") {
+			return true
+		}
+		selection, ok := info.Selections[sel]
+		if !ok || selection.Kind() != types.MethodVal {
+			return true
+		}
+		var kind analysis.Obligation
+		rel := strings.TrimPrefix(path, rootName)
+		switch sel.Sel.Name {
+		case "EndPacking", "EndUnpacking", "Discard", "Deregister":
+			kind = releaseKindOfMethod[sel.Sel.Name]
+		case "release":
+			kind = obLease
+		case "Push", "PushIfOpen":
+			if strings.HasSuffix(rel, ".lease") {
+				kind = obToken
+			}
+		}
+		if kind != "" {
+			if out == nil {
+				out = make(map[string]analysis.Obligation)
+			}
+			if out[rel] == "" {
+				out[rel] = kind
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// --- blocking facts ---
+
+// bodyMayBlock scans for statements that can wait indefinitely. Function
+// literals and go statements are skipped — the block happens where the
+// literal runs or in the spawned goroutine, not at this definition site.
+// A select with a default clause polls its comm clauses instead of
+// waiting on them, so their channel operations do not count (the closed-
+// flag probe idiom: `select { case <-c.closed: ... default: }`).
+//
+// Channel sends deliberately do not count either: the codebase's sends
+// are bounded handoffs to buffered channels (a lease release posting to
+// its single waiter's cap-1 channel, the async engine posting a
+// completion), and counting them would mark the entire message path
+// may-block through core's lease release. blockhold still flags a send
+// written directly inside a held span, where the author can see the
+// channel; only the transitive summary leans toward false negatives.
+func bodyMayBlock(info *types.Info, facts *analysis.Facts, body *ast.BlockStmt) (bool, string) {
+	why := ""
+	var scan func(root ast.Node)
+	scan = func(root ast.Node) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			if why != "" {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.FuncLit, *ast.GoStmt:
+				return false
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					why = "receives from a channel"
+				}
+			case *ast.RangeStmt:
+				if isChanType(info.TypeOf(n.X)) {
+					why = "ranges over a channel"
+				}
+			case *ast.SelectStmt:
+				if !selectHasDefault(n) {
+					why = "selects with no default"
+					return false
+				}
+				// Polling select: comm statements never wait, but the
+				// chosen case's body still runs to completion.
+				for _, cl := range n.Body.List {
+					if cc, ok := cl.(*ast.CommClause); ok {
+						for _, s := range cc.Body {
+							if why == "" {
+								scan(s)
+							}
+						}
+					}
+				}
+				return false
+			case *ast.CallExpr:
+				if w, ok := blockingCall(info, facts, n); ok {
+					why = w
+				}
+			}
+			return why == ""
+		})
+	}
+	scan(body)
+	return why != "", why
+}
+
+// blockingCall recognizes a call that can wait indefinitely: the lease
+// acquire shape, core completion waits, sync waits, or a callee whose
+// summary says it may block. Deliberately not blocking: sync.Mutex.Lock
+// (bounded critical sections are the norm; treating every lock as a wait
+// would drown the signal — blockhold instead treats a held mutex as a
+// context).
+func blockingCall(info *types.Info, facts *analysis.Facts, call *ast.CallExpr) (string, bool) {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if selection, ok := info.Selections[sel]; ok && selection.Kind() == types.MethodVal {
+			obj := selection.Obj()
+			name := obj.Name()
+			path, _ := exprPath(info, sel.X)
+			if path == "" {
+				path = "the"
+			}
+			switch {
+			case name == "acquire" && hasMethod(selection.Recv(), "release"):
+				return "acquires the " + path + " lease", true
+			case name == "Wait" && obj.Pkg() != nil && obj.Pkg().Path() == "sync":
+				return "waits on " + path + ".Wait (sync." + namedTypeName(selection.Recv()) + ")", true
+			case name == "Wait" && obj.Pkg() != nil && obj.Pkg().Name() == "core":
+				return "waits on " + path + ".Wait", true
+			case name == "WaitRecv":
+				return "waits in " + path + ".WaitRecv", true
+			}
+		}
+	}
+	if fn, ok := analysis.CalleeObject(info, call).(*types.Func); ok {
+		if s := facts.Summary(fn); s != nil && s.MayBlock {
+			return "calls " + fn.Name() + ", which " + s.BlockWhy, true
+		}
+	}
+	return "", false
+}
+
+func namedTypeName(t types.Type) string {
+	if named, ok := derefType(t).(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}
+
+// bodyDrainsCQ reports whether the body observes completions — directly
+// (Poll/Wait/OnCompletion on a core CQ) or through a summarized callee.
+func bodyDrainsCQ(info *types.Info, facts *analysis.Facts, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.GoStmt); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if _, _, ok := isCoreMethod(info, call, drainMethods...); ok {
+			found = true
+			return false
+		}
+		if fn, ok := analysis.CalleeObject(info, call).(*types.Func); ok {
+			if s := facts.Summary(fn); s != nil && s.DrainsCQ {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, cl := range s.Body.List {
+		if comm, ok := cl.(*ast.CommClause); ok && comm.Comm == nil {
+			return true
+		}
+	}
+	return false
+}

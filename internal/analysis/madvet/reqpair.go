@@ -29,7 +29,8 @@ var ReqPair = &analysis.Analyzer{
 	Name: "reqpair",
 	Doc: "check that every Submit* request reaches CQ.Poll/CQ.Wait, a callback,\n" +
 		"or an explicit Discard on all paths (use `_ =` for fire-and-forget)",
-	Run: runReqPair,
+	Run:        runReqPair,
+	Summarizer: ownership,
 }
 
 // submitMethods return a *Request; drainMethods prove the function
@@ -41,35 +42,61 @@ var (
 
 func runReqPair(pass *analysis.Pass) error {
 	info := pass.TypesInfo
+	facts := pass.Facts
 	checkDroppedRequests(pass)
 	funcBodies(pass.Files, func(name string, body *ast.BlockStmt) {
 		g := analysis.BuildCFG(body, analysis.TerminatingClassifier(info))
 		for _, n := range g.Nodes {
 			as, ok := n.Stmt.(*ast.AssignStmt)
-			if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 1 {
+			if !ok || len(as.Rhs) != 1 || len(as.Lhs) > 2 {
 				continue
 			}
 			call, ok := as.Rhs[0].(*ast.CallExpr)
 			if !ok {
 				continue
 			}
-			_, submit, ok := isCoreMethod(info, call, submitMethods...)
-			if !ok {
-				continue
+			_, submit, named := isCoreMethod(info, call, submitMethods...)
+			if named {
+				if len(as.Lhs) != 1 {
+					continue
+				}
+			} else {
+				// Summary-based acquire: a helper whose first result is an
+				// undrained request hands the obligation to this caller.
+				kinds := summaryAcquireKinds(info, facts, call)
+				if len(kinds) == 0 || kinds[0] != obReq {
+					continue
+				}
+				submit = calleeName(info, call)
 			}
 			reqObj := defObj(info, as.Lhs[0])
 			if reqObj == nil {
 				continue // `_ = am.Submit...`: deliberate fire-and-forget
 			}
-			if connEscapes(info, body, reqObj) {
-				continue // ownership moves out of this function
+			sc := scanOwnUses(info, facts, body, reqObj, obReq, true)
+			if !sc.trackable {
+				continue // ownership moves somewhere the analysis cannot follow
+			}
+			for _, st := range sc.stores {
+				if !typeSettles(facts, st.owner, st.field, obReq) {
+					pass.Reportf(st.pos, "request from %s is stored into %s.%s, but no method of that type drains or discards it: its completion is never observed",
+						submit, namedTypeName(st.owner), st.field)
+				}
+			}
+			var guard guardSpec
+			if len(as.Lhs) == 2 {
+				guard = guardSpec{obj: defObj(info, as.Lhs[1]), failMode: pairFree}
 			}
 			pc := &pairCheck{
 				g:       g,
 				info:    info,
 				acquire: n,
+				guard:   guard,
 				classify: func(stmt ast.Stmt) pairEvent {
-					return classifyReqStmt(info, stmt, reqObj)
+					if ev := classifyReqStmt(info, stmt, reqObj); ev.kind != pairEvNone {
+						return ev
+					}
+					return interprocEvent(info, facts, stmt, reqObj, obReq)
 				},
 				leak: func(leakNode *analysis.Node) {
 					pos := as.Pos()

@@ -1,0 +1,163 @@
+// Fixtures for the blockhold analyzer: operations that may block
+// indefinitely while a direction lease or a mutex is held.
+package blockhold
+
+import (
+	"sync"
+
+	"core"
+)
+
+// lease mimics the core direction lease shape blockhold recognizes:
+// acquire on a type that also has release.
+type lease struct{ held bool }
+
+func (l *lease) acquire(at int) { l.held = true }
+func (l *lease) release(at int) { l.held = false }
+
+type node struct {
+	mu   sync.Mutex
+	send lease
+	ch   chan int
+	cq   *core.CQ
+}
+
+// badLeaseRecv parks on a channel while holding the send lease: every
+// peer queued on the lease stalls behind the receive.
+func (n *node) badLeaseRecv() {
+	n.send.acquire(1)
+	<-n.ch // want "channel receive while the n.send direction lease is held"
+	n.send.release(1)
+}
+
+// badLeaseCQWait holds the lease across a completion wait.
+func (n *node) badLeaseCQWait() {
+	n.send.acquire(1)
+	n.cq.Wait() // want "waits on n.cq.Wait while the n.send direction lease is held"
+	n.send.release(1)
+}
+
+// goodReleaseFirst: the lease is gone before the wait.
+func (n *node) goodReleaseFirst() {
+	n.send.acquire(1)
+	n.send.release(1)
+	<-n.ch
+}
+
+// badMutexSend blocks on a send inside a critical section.
+func (n *node) badMutexSend(v int) {
+	n.mu.Lock()
+	n.ch <- v // want "channel send while the n.mu mutex is held"
+	n.mu.Unlock()
+}
+
+// badDeferredUnlock: a deferred unlock holds the mutex to function exit,
+// so the receive is still inside the span.
+func (n *node) badDeferredUnlock() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return <-n.ch // want "channel receive while the n.mu mutex is held"
+}
+
+// goodPoll: a select with a default never waits.
+func (n *node) goodPoll() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	select {
+	case <-n.ch:
+		return true
+	default:
+		return false
+	}
+}
+
+// badSelect: without a default the select parks the holder.
+func (n *node) badSelect(done chan struct{}) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	select { // want "select with no default while the n.mu mutex is held"
+	case <-n.ch:
+	case <-done:
+	}
+}
+
+// badNestedAcquire takes a second lease while holding the first — the
+// lock-ordering half of the distributed-deadlock shape.
+func (n *node) badNestedAcquire(m *node) {
+	n.send.acquire(1)
+	m.send.acquire(2) // want "acquires the m.send lease while the n.send direction lease is held"
+	m.send.release(2)
+	n.send.release(1)
+}
+
+// goodSpawn: the goroutine blocks, not the holder.
+func (n *node) goodSpawn() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	go func() { <-n.ch }()
+}
+
+// waitForWork is the transitive case: its summary says it may block.
+func (n *node) waitForWork() int {
+	return <-n.ch
+}
+
+// badTransitive reaches the channel receive through a call under the
+// lease — only the interprocedural summary can see it.
+func (n *node) badTransitive() {
+	n.send.acquire(1)
+	_ = n.waitForWork() // want "calls waitForWork, which receives from a channel while the n.send direction lease is held"
+	n.send.release(1)
+}
+
+// closing is the non-blocking probe idiom: a select with default polls
+// its clauses, so neither it nor callers holding a lock are flagged.
+func (n *node) closing() bool {
+	select {
+	case <-n.ch:
+		return true
+	default:
+		return false
+	}
+}
+
+func (n *node) goodProbeUnderLock() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.closing()
+}
+
+// worker models the progress-engine condvar idiom: Cond.Wait releases
+// the condvar's own mutex while waiting, so a direct Wait under that
+// mutex is the sanctioned shape...
+type worker struct {
+	mu    sync.Mutex
+	cv    *sync.Cond
+	ready bool
+}
+
+func (w *worker) goodCondWait() {
+	w.mu.Lock()
+	for !w.ready {
+		w.cv.Wait()
+	}
+	w.mu.Unlock()
+}
+
+// parkUntilSignaled may block per its summary (the Wait counts there).
+func (w *worker) parkUntilSignaled() {
+	w.cv.Wait()
+}
+
+// pair holds a lock unrelated to the worker's condvar: reaching the Wait
+// through a call under that other lock is a real stall.
+type pair struct {
+	a sync.Mutex
+	w *worker
+}
+
+func (p *pair) badForeignCond() {
+	p.a.Lock()
+	p.w.parkUntilSignaled() // want "calls parkUntilSignaled, which waits on w.cv.Wait"
+	p.a.Unlock()
+}

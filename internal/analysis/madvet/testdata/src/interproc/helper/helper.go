@@ -1,0 +1,33 @@
+// Package helper is the cross-package half of the interprocedural
+// fixtures: its summaries — computed in the same analysis run — drive
+// the diagnostics expected in the interproc package.
+package helper
+
+import "core"
+
+// BeginHello opens a message and hands it to the caller: the summary
+// marks the first result with the open-send obligation.
+func BeginHello(ch *core.Channel, remote int) (*core.Connection, error) {
+	conn, err := ch.BeginPacking(remote)
+	if err != nil {
+		return nil, err
+	}
+	if err := conn.Pack([]byte("hi"), core.SendCheaper, core.ReceiveCheaper); err != nil {
+		return nil, err
+	}
+	return conn, nil
+}
+
+// Finish closes a message handed in by the caller: the parameter summary
+// says it releases the open-send obligation on every path.
+func Finish(conn *core.Connection) error {
+	return conn.EndPacking()
+}
+
+// Park keeps the connection forever: the parameter escapes, so a caller
+// that hands a message here falls back to the old exemption.
+var parked []*core.Connection
+
+func Park(conn *core.Connection) {
+	parked = append(parked, conn)
+}

@@ -1,0 +1,104 @@
+// Cross-package fixtures for the interprocedural packpair rules: the
+// obligations come from summaries of interproc/helper, loaded in the
+// same run.
+package interproc
+
+import (
+	"core"
+
+	"interproc/helper"
+)
+
+// goodRoundTrip: acquired through one helper, released through another —
+// both legs are summary knowledge, not names.
+func goodRoundTrip(ch *core.Channel) error {
+	conn, err := helper.BeginHello(ch, 1)
+	if err != nil {
+		return err
+	}
+	return helper.Finish(conn)
+}
+
+// badForgot: the helper-opened message never reaches an End.
+func badForgot(ch *core.Channel) error {
+	conn, err := helper.BeginHello(ch, 1)
+	if err != nil {
+		return err
+	}
+	conn.Remote()
+	return nil // want "message from helper.BeginHello can end here without EndPacking"
+}
+
+// badBranchLeak: only one branch hands the message back.
+func badBranchLeak(ch *core.Channel, cond bool) error {
+	conn, err := helper.BeginHello(ch, 1)
+	if err != nil {
+		return err
+	}
+	if cond {
+		return nil // want "message from helper.BeginHello can end here without EndPacking"
+	}
+	return helper.Finish(conn)
+}
+
+// goodEscapeHandoff: Park's parameter escapes, so ownership tracking
+// stops — the old exemption, by policy.
+func goodEscapeHandoff(ch *core.Channel) error {
+	conn, err := helper.BeginHello(ch, 1)
+	if err != nil {
+		return err
+	}
+	helper.Park(conn)
+	return nil
+}
+
+// session stores an open connection and can settle it: Close reaches
+// EndPacking, so storing into it is a handoff, not a leak.
+type session struct {
+	conn *core.Connection
+}
+
+func (s *session) Close() error {
+	return s.conn.EndPacking()
+}
+
+func goodFieldStore(ch *core.Channel, s *session) error {
+	conn, err := ch.BeginPacking(1)
+	if err != nil {
+		return err
+	}
+	s.conn = conn
+	return nil
+}
+
+// sink stores the connection but no method of it ever ends the message.
+type sink struct {
+	conn *core.Connection
+}
+
+func (k *sink) Len() int { return 0 }
+
+func badFieldStore(ch *core.Channel, k *sink) error {
+	conn, err := ch.BeginPacking(1)
+	if err != nil {
+		return err
+	}
+	k.conn = conn // want "open connection from BeginPacking is stored into sink.conn, but no method of that type reaches EndPacking"
+	return nil
+}
+
+// goodWrapperReturn reproduces the channel-wrapper shape: the open
+// connection rides out inside a composite literal, transferring the
+// obligation to the caller.
+type framed struct {
+	conn *core.Connection
+	mtu  int
+}
+
+func goodWrapperReturn(ch *core.Channel) (*framed, error) {
+	conn, err := ch.BeginPacking(1)
+	if err != nil {
+		return nil, err
+	}
+	return &framed{conn: conn, mtu: 1024}, nil
+}

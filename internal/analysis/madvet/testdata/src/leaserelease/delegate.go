@@ -1,0 +1,105 @@
+// Interprocedural leaserelease fixtures: delegated releases proven by
+// receiver-subpath summaries, and region obligations carried by helper
+// summaries.
+package leaserelease
+
+// conv mimics the conversation state: the lease lives in a field, and a
+// method on the root hands it back.
+type conv struct {
+	send lease
+}
+
+func (c *conv) finish(at int) {
+	c.send.release(at)
+}
+
+// goodDelegated: finish's summary settles the .send subpath.
+func goodDelegated(c *conv, work func()) {
+	c.send.acquire(1)
+	work()
+	c.finish(1)
+}
+
+// badDelegated still leaks through the early return.
+func badDelegated(c *conv, cond bool) error {
+	c.send.acquire(1)
+	if cond {
+		return errClosed // want "lease acquired by c.send.acquire is not released"
+	}
+	c.finish(1)
+	return nil
+}
+
+// pin wraps Register: its summary carries the pinned-region obligation,
+// so the call site below is a Register in the caller's eyes.
+func pin(h *hca, buf []byte) (*region, error) {
+	return h.Register(1, buf)
+}
+
+func goodPinned(h *hca, buf []byte, work func() error) error {
+	m, err := pin(h, buf)
+	if err != nil {
+		return err
+	}
+	defer m.Deregister()
+	return work()
+}
+
+func badPinned(h *hca, buf []byte, cond bool) error {
+	m, err := pin(h, buf)
+	if err != nil {
+		return err
+	}
+	if cond {
+		return errClosed // want "region m pinned by pin is not released"
+	}
+	return m.Deregister()
+}
+
+// unpin releases its parameter: handing the region to it settles the
+// obligation interprocedurally.
+func unpin(m *region) error {
+	return m.Deregister()
+}
+
+func goodUnpinHandoff(h *hca, buf []byte) error {
+	m, err := h.Register(1, buf)
+	if err != nil {
+		return err
+	}
+	return unpin(m)
+}
+
+// ringSet stores regions and can settle them.
+type ringSet struct {
+	recv *region
+}
+
+func (r *ringSet) teardown() error {
+	return r.recv.Deregister()
+}
+
+func goodRegionStore(h *hca, buf []byte, rs *ringSet) error {
+	m, err := h.Register(1, buf)
+	if err != nil {
+		return err
+	}
+	rs.recv = m
+	return nil
+}
+
+// leakyCache stores the region where nothing ever deregisters it.
+type leakyCache struct {
+	recv *region
+}
+
+func (l *leakyCache) size() int { return 0 }
+
+func badRegionStore(h *hca, buf []byte, lc *leakyCache) error {
+	m, err := h.Register(1, buf)
+	if err != nil {
+		return err
+	}
+	lc.recv = m // want "region m pinned by Register is stored into leakyCache.recv, but no method of that type reaches Deregister"
+	return nil
+}

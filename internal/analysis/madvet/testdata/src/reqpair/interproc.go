@@ -1,0 +1,62 @@
+// Interprocedural reqpair fixtures: obligations and settlements carried
+// by same-package summaries.
+package reqpair
+
+import "core"
+
+// submitHello wraps a Submit: its summary hands the request obligation
+// to the caller.
+func submitHello(am *core.AsyncMsg, data []byte) *core.Request {
+	return am.SubmitPack(data, core.SendCheaper, core.ReceiveCheaper)
+}
+
+// drainAll observes every completion: DrainsCQ in its summary.
+func drainAll(cq *core.CQ) {
+	for {
+		if _, ok := cq.Poll(); !ok {
+			return
+		}
+	}
+}
+
+// goodHelperSubmit: acquired through a helper, drained through another.
+func goodHelperSubmit(am *core.AsyncMsg, cq *core.CQ, data []byte) bool {
+	req := submitHello(am, data)
+	done := req.Done()
+	drainAll(cq)
+	return done
+}
+
+// badHelperSubmit: the helper-submitted request is never drained.
+func badHelperSubmit(am *core.AsyncMsg, data []byte) bool {
+	req := submitHello(am, data)
+	return req.Done() // want "request from submitHello can exit here without reaching"
+}
+
+// tracker stores a request and can settle it later.
+type tracker struct {
+	pending *core.Request
+}
+
+func (t *tracker) settle() {
+	if t.pending != nil {
+		t.pending.Discard()
+	}
+}
+
+func goodStoreTracked(am *core.AsyncMsg, t *tracker, data []byte) {
+	req := am.SubmitPack(data, core.SendCheaper, core.ReceiveCheaper)
+	t.pending = req
+}
+
+// dropbox stores the request where nothing ever drains or discards it.
+type dropbox struct {
+	pending *core.Request
+}
+
+func (b *dropbox) count() int { return 0 }
+
+func badStoreDropped(am *core.AsyncMsg, b *dropbox, data []byte) {
+	req := am.SubmitPack(data, core.SendCheaper, core.ReceiveCheaper)
+	b.pending = req // want "request from SubmitPack is stored into dropbox.pending, but no method of that type drains or discards it"
+}

@@ -2,16 +2,62 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"sort"
 )
 
 // Run applies every analyzer to every package and returns the combined
-// findings sorted by position. Analyzer errors (operational failures, not
-// findings) abort the run.
+// findings, minus those suppressed by //madvet:ignore directives, in a
+// stable (file, line, column, analyzer, message) order — raw token.Pos
+// ordering would interleave arbitrarily across packages with separate
+// position intervals, making -json output useless for CI diffing.
+// Analyzer errors (operational failures, not findings) abort the run.
+//
+// Before any analyzer runs, the distinct summarizers named by the
+// analyzers are executed bottom-up over the packages' call graph; their
+// facts reach every pass through Pass.Facts.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	var diags []Diagnostic
+	return run(pkgs, analyzers, true)
+}
+
+// RunUnit is Run for a single compilation unit whose dependencies carry
+// no function bodies (the go vet -vettool path). Interprocedural
+// summaries are per-unit there, so a directive justified by a finding
+// only the whole-tree run can see is legitimately unused in the unit —
+// the stale-directive diagnostic is skipped; everything else is checked
+// identically.
+func RunUnit(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return run(pkgs, analyzers, false)
+}
+
+func run(pkgs []*Package, analyzers []*Analyzer, flagStale bool) ([]Diagnostic, error) {
+	var summarizers []Summarizer
+	seen := make(map[Summarizer]bool)
+	for _, a := range analyzers {
+		if a.Summarizer != nil && !seen[a.Summarizer] {
+			seen[a.Summarizer] = true
+			summarizers = append(summarizers, a.Summarizer)
+		}
+	}
+	var facts *Facts
+	if len(summarizers) > 0 {
+		facts = ComputeFacts(pkgs, summarizers)
+	}
+
+	// Diagnostics are collected with their resolved positions: each
+	// package knows its own file set (shared by the loader, private in
+	// unitchecker mode), and the sort and the ignore filter both need
+	// file/line/column rather than raw offsets.
+	type entry struct {
+		d   Diagnostic
+		pos token.Position
+	}
+	var entries []entry
 	for _, pkg := range pkgs {
+		fset := pkg.Fset
+		ignores := collectIgnores(pkg, analyzers)
+		start := len(entries)
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer:  a,
@@ -19,14 +65,51 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
-				report:    func(d Diagnostic) { diags = append(diags, d) },
+				Facts:     facts,
+				report:    func(d Diagnostic) { entries = append(entries, entry{d, fset.Position(d.Pos)}) },
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, err
 			}
 		}
+		// Apply this package's suppression directives to this package's
+		// findings, then report the directives' own problems (malformed,
+		// unknown analyzer, suppressing nothing).
+		if len(ignores) > 0 {
+			kept := entries[:start]
+			for _, e := range entries[start:] {
+				if !suppress(ignores, e.d, e.pos) {
+					kept = append(kept, e)
+				}
+			}
+			entries = kept
+		}
+		for _, ig := range ignores {
+			if d, bad := ig.problem(flagStale); bad {
+				entries = append(entries, entry{d, fset.Position(d.Pos)})
+			}
+		}
 	}
-	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	sort.SliceStable(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.pos.Filename != b.pos.Filename {
+			return a.pos.Filename < b.pos.Filename
+		}
+		if a.pos.Line != b.pos.Line {
+			return a.pos.Line < b.pos.Line
+		}
+		if a.pos.Column != b.pos.Column {
+			return a.pos.Column < b.pos.Column
+		}
+		if a.d.Category != b.d.Category {
+			return a.d.Category < b.d.Category
+		}
+		return a.d.Message < b.d.Message
+	})
+	diags := make([]Diagnostic, len(entries))
+	for i, e := range entries {
+		diags[i] = e.d
+	}
 	return diags, nil
 }
 

@@ -166,13 +166,16 @@ func (d *daemonState) recvBestEffort(conn *core.Connection, hb []byte) bool {
 	if err != nil {
 		// The header hides the payload length; without it the byte
 		// stream cannot be resynchronized. Lose the handle, not the
-		// process.
+		// process — but close the message scope first, so the dead
+		// daemon does not keep the receive lease wedged.
+		_ = conn.EndUnpacking()
 		v.count("fwd/drop/header", &v.ctr.dropHeader)
 		v.fail(fmt.Errorf("fwd daemon %s: unrecoverable: %w", a.Name(), err))
 		return false
 	}
 	d.throttle(h.Len)
 	if h.Len < 0 || h.Len > v.mtu {
+		_ = conn.EndUnpacking()
 		v.count("fwd/drop/len", &v.ctr.dropLen)
 		v.fail(fmt.Errorf("fwd daemon %s: unrecoverable: packet length %d (MTU %d), corrupted header", a.Name(), h.Len, v.mtu))
 		return false
@@ -218,7 +221,10 @@ func (d *daemonState) recvBestEffort(conn *core.Connection, hb []byte) bool {
 	p := v.pipe(d.segIdx, hp.seg)
 	tok, ok := p.free.Pop()
 	if !ok {
-		return false // pipeline closed
+		// Pipeline closed mid-message: release the receive lease on the
+		// way out so the VC's close path is not left waiting on it.
+		_ = conn.EndUnpacking()
+		return false
 	}
 	a.Sync(tok.stamp)
 	payload := tok.buf[:h.Len]
@@ -299,7 +305,10 @@ func (d *daemonState) recvReliable(conn *core.Connection, hb []byte) bool {
 		p = v.pipe(d.segIdx, hp.seg)
 		var ok bool
 		if tok, ok = p.free.Pop(); !ok {
-			return false // pipeline closed
+			// Pipeline closed mid-message: release the receive lease on
+			// the way out (see recvBestEffort).
+			_ = conn.EndUnpacking()
+			return false
 		}
 		a.Sync(tok.stamp)
 		dst = tok.buf
