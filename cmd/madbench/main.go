@@ -5,7 +5,9 @@
 // Usage:
 //
 //	madbench                  # run everything, print tables
-//	madbench -fig 10          # one figure (4, 5, 6, 7, 10, 11, crossover, stripe, rdma)
+//	madbench -fig 10          # one figure (4, 5, 6, 7, 10, 11, crossover, stripe, rdma, coll, llm)
+//	madbench -fig coll        # topology-aware collectives vs. the linear baseline
+//	madbench -fig llm         # LLM-fabric traffic worlds on the lossy two-cluster fabric
 //	madbench -fig stripe -rails 1,2,4   # multi-rail scaling at those rail counts
 //	madbench -ablations       # only the ablations
 //	madbench -markdown X.md   # also write the EXPERIMENTS.md content
@@ -31,7 +33,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to reproduce: all, 4, 5, 6, 7, crossover, 10, 11, stripe, async, rdma")
+	fig := flag.String("fig", "all", "which figure to reproduce: all, 4, 5, 6, 7, crossover, 10, 11, stripe, async, rdma, coll, llm")
 	rails := flag.String("rails", "1,2,4", "rail counts for the stripe figure, comma-separated")
 	stripeSize := flag.Int("stripe-size", 0, "stripe chunk size in bytes for the stripe figure (0 = library default)")
 	asyncWorkers := flag.Int("async-workers", 64, "progress-engine worker count for the async figure")
@@ -79,7 +81,7 @@ func main() {
 		fns := map[string]func() (bench.Result, error){
 			"4": bench.Fig4, "5": bench.Fig5, "6": bench.Fig6, "7": bench.Fig7,
 			"crossover": bench.Crossover, "10": bench.Fig10, "11": bench.Fig11,
-			"rdma": bench.RDMACrossover,
+			"rdma": bench.RDMACrossover, "coll": bench.CollFigure, "llm": bench.LLMFigure,
 		}
 		f, ok := fns[*fig]
 		if !ok {

@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"testing"
+
+	"madeleine2/internal/coll"
+)
+
+// TestCollTopologySpeedup pins the tentpole's acceptance number: on the
+// 8-rank two-cluster world, the topology-aware broadcast beats the naive
+// linear baseline by at least 2x at 256 KiB — the Auto schedule crosses
+// the forwarding gateway once, Linear once per remote rank.
+func TestCollTopologySpeedup(t *testing.T) {
+	const n = 1 << 20
+	body := func(c *coll.Comm) error {
+		buf := make([]byte, n)
+		if c.Rank() == 0 {
+			for i := range buf {
+				buf[i] = collFill(0, i)
+			}
+		}
+		return c.Bcast(0, buf)
+	}
+	ta, err := collPoint(coll.Auto, "speedup-auto", body)
+	if err != nil {
+		t.Fatalf("auto: %v", err)
+	}
+	tl, err := collPoint(coll.Linear, "speedup-linear", body)
+	if err != nil {
+		t.Fatalf("linear: %v", err)
+	}
+	if ta <= 0 || tl <= 0 {
+		t.Fatalf("degenerate makespans auto=%v linear=%v", ta, tl)
+	}
+	if speedup := float64(tl) / float64(ta); speedup < 2 {
+		t.Fatalf("topology-aware bcast speedup %.2fx, want >= 2x (auto %v, linear %v)", speedup, ta, tl)
+	}
+}
+
+// TestLLMWorldsCompleteUnderFaultPlan runs all three LLM traffic worlds
+// on the lossy fabric: they must complete with byte-identical payloads,
+// no poisoned communicator (both checked inside the workloads/harness)
+// and sane makespans.
+func TestLLMWorldsCompleteUnderFaultPlan(t *testing.T) {
+	res, err := LLMFigure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 3 {
+		t.Fatalf("%d series, want 3", len(res.Series))
+	}
+	for _, s := range res.Series {
+		for _, p := range s.Points {
+			if p.OneWay <= 0 {
+				t.Fatalf("series %q reports a non-positive makespan", s.Name)
+			}
+		}
+	}
+	for _, a := range res.Anchors {
+		if a.Measured <= 0 {
+			t.Fatalf("anchor %q measured %.3f, want > 0", a.Name, a.Measured)
+		}
+	}
+}
+
+// TestCollFigure runs the whole figure once: both algorithms on clean
+// fabrics, payloads verified, and the headline speedup anchor above 2.
+func TestCollFigure(t *testing.T) {
+	res, err := CollFigure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Anchors) == 0 {
+		t.Fatal("no anchors")
+	}
+	if res.Anchors[0].Measured < 2 {
+		t.Fatalf("headline speedup %.2fx, want >= 2x", res.Anchors[0].Measured)
+	}
+}

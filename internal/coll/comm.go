@@ -1,0 +1,397 @@
+package coll
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"madeleine2/internal/core"
+	"madeleine2/internal/fwd"
+	"madeleine2/internal/metrics"
+	"madeleine2/internal/trace"
+	"madeleine2/internal/vclock"
+)
+
+// SizeError reports a collective block whose length disagrees with the
+// local schedule — the classic silent-corruption bug (a rank contributing
+// a short or long block scribbling over its neighbours' slots in the
+// root's output) surfaced as a typed, matchable error instead.
+type SizeError struct {
+	Source int // communicator rank the block came from
+	Got    int // bytes the peer sent
+	Want   int // bytes the schedule expects
+}
+
+func (e *SizeError) Error() string {
+	return fmt.Sprintf("coll: rank %d sent %d bytes where the schedule expects %d", e.Source, e.Got, e.Want)
+}
+
+// Options configures a communicator.
+type Options struct {
+	// Alg selects the schedule family (default Auto: topology-aware).
+	Alg Algorithm
+	// Topo overrides the derived topology. Nil derives it: a bare channel
+	// is one cluster, a virtual channel contributes its segment map.
+	Topo *Topology
+	// Name labels the communicator's trace spans (default: channel name).
+	Name string
+}
+
+// Comm is one rank's collective communicator. Every member must call the
+// same collectives in the same order with coherent arguments; calls on
+// one Comm must not overlap. After any error the communicator is poisoned
+// (the ranks no longer agree on the collective sequence) and every later
+// call reports the original failure.
+type Comm struct {
+	t     transport
+	topo  *Topology
+	actor *vclock.Actor
+	rank  int
+	nodes []int // communicator rank -> node id on the underlying channel
+	alg   Algorithm
+	name  string
+	rec   *trace.Recorder
+	met   collMet
+
+	traceBase uint64
+	seq       uint32
+	err       error
+
+	mu     sync.Mutex
+	curSeq uint32
+	exps   map[expKey]*exp
+	future []event
+}
+
+type collMet struct {
+	ops, errors, msgsOut, msgsIn, bytesOut, bytesIn, claimed *metrics.Counter
+}
+
+type expKey struct {
+	origin int
+	tag    int
+}
+
+// exp is one registered receive expectation of the running collective.
+type exp struct {
+	x       Xfer
+	round   int
+	sink    []byte // claim target; nil forces allocate-and-deliver
+	claimed bool   // under Comm.mu
+	matched bool   // executor only
+}
+
+func collMetrics(reg *metrics.Registry) collMet {
+	return collMet{
+		ops:      reg.Counter("coll/ops"),
+		errors:   reg.Counter("coll/errors"),
+		msgsOut:  reg.Counter("coll/msgs-out"),
+		msgsIn:   reg.Counter("coll/msgs-in"),
+		bytesOut: reg.Counter("coll/bytes-out"),
+		bytesIn:  reg.Counter("coll/bytes-in"),
+		claimed:  reg.Counter("coll/claimed"),
+	}
+}
+
+// OverChannel builds a communicator over a plain madeleine channel,
+// driving transfers through the async Submit*/CQ engine. The communicator
+// owns the channel handle: Close closes it.
+func OverChannel(ch *core.Channel, opts Options) (*Comm, error) {
+	c, err := newComm(ch.Members(), ch.Rank(), opts)
+	if err != nil {
+		return nil, err
+	}
+	c.bind(ch.Name(), ch.Session(), opts)
+	c.t = newChanTransport(ch, c.claim)
+	return c, nil
+}
+
+// OverVC builds a communicator over a forwarding virtual channel; the
+// derived topology is the VC's segment map, so Auto schedules cross the
+// cluster boundary once per subtree instead of once per rank. The
+// communicator owns the VC handle: Close closes it.
+func OverVC(vc *fwd.VC, opts Options) (*Comm, error) {
+	c, err := newComm(vc.Members(), vc.Rank(), opts)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Topo == nil {
+		segs := make([][]int, 0, len(vc.Clusters()))
+		for _, seg := range vc.Clusters() {
+			mapped := make([]int, len(seg))
+			for i, node := range seg {
+				mapped[i] = indexOf(c.nodes, node)
+			}
+			segs = append(segs, mapped)
+		}
+		topo, err := FromClusters(len(c.nodes), segs)
+		if err != nil {
+			return nil, err
+		}
+		c.topo = topo
+	}
+	c.bind(vc.Name(), vc.Session(), opts)
+	c.t = newVCTransport(vc, c.claim)
+	return c, nil
+}
+
+func newComm(members []int, self int, opts Options) (*Comm, error) {
+	nodes := append([]int(nil), members...)
+	sortInts(nodes)
+	rank := indexOf(nodes, self)
+	if rank < 0 {
+		return nil, fmt.Errorf("coll: node %d is not a channel member", self)
+	}
+	topo := opts.Topo
+	if topo == nil {
+		topo = SingleCluster(len(nodes))
+	}
+	if topo.Size() != len(nodes) {
+		return nil, fmt.Errorf("coll: topology covers %d ranks, channel has %d", topo.Size(), len(nodes))
+	}
+	return &Comm{
+		topo:  topo,
+		rank:  rank,
+		nodes: nodes,
+		alg:   opts.Alg,
+	}, nil
+}
+
+func (c *Comm) bind(name string, sess *core.Session, opts Options) {
+	if opts.Name != "" {
+		name = opts.Name
+	}
+	c.name = name
+	c.actor = vclock.NewActor(fmt.Sprintf("coll/%s/%d", name, c.rank))
+	c.rec = sess.Observer().Recorder()
+	c.met = collMetrics(sess.Metrics())
+	hash := fnv.New32a()
+	fmt.Fprintf(hash, "coll/%s/%d", name, c.rank)
+	c.traceBase = uint64(hash.Sum32()|1) << 32
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// Rank reports the caller's communicator rank; Size the member count.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size reports the communicator's rank count.
+func (c *Comm) Size() int { return c.topo.Size() }
+
+// Topology reports the communicator's cluster map.
+func (c *Comm) Topology() *Topology { return c.topo }
+
+// Now reports the rank's collective virtual clock (makespan reads).
+func (c *Comm) Now() vclock.Time { return c.actor.Now() }
+
+// Err reports the poisoning error, if any collective has failed.
+func (c *Comm) Err() error { return c.err }
+
+// Close releases the communicator and the channel it owns. Safe after
+// errors; outstanding transport work drains first.
+func (c *Comm) Close() { c.t.close() }
+
+// claim is the transport's zero-copy hook: an arriving envelope that
+// matches a registered expectation of the current collective lands its
+// payload directly in the caller's buffer. Combine expectations never
+// claim (the payload must be folded, not stored), and any mismatch —
+// wrong sequence, unknown tag, bad length — falls back to
+// allocate-and-deliver so the executor can diagnose it.
+func (c *Comm) claim(h wireHdr) []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if h.seq != c.curSeq {
+		return nil
+	}
+	e := c.exps[expKey{int(h.origin), int(h.tag)}]
+	if e == nil || e.claimed || e.sink == nil || int(h.length) != e.x.Len {
+		return nil
+	}
+	e.claimed = true
+	return e.sink
+}
+
+// deferredFold is a combine/replace payload that arrived ahead of its
+// round; it is applied when the round starts, after the round's sends
+// snapshot the accumulator (ordering both correctness arguments depend
+// on: a recursive-doubling partner must never receive its own
+// contribution back).
+type deferredFold struct {
+	x    Xfer
+	data []byte
+}
+
+// run executes one collective schedule. data yields a send payload (it is
+// read asynchronously after isend, so reduction payloads must be fresh
+// snapshots); sink yields the in-place landing buffer for a plain receive
+// (nil disables claiming); got consumes a payload that had no sink —
+// Combine folds and whole-vector replacements.
+func (c *Comm) run(op string, s Schedule, data func(Xfer) []byte, sink func(Xfer) []byte, got func(Xfer, []byte) error) error {
+	if c.err != nil {
+		return c.err
+	}
+	c.seq++
+	c.met.ops.Add(1)
+	traceID := c.traceBase | uint64(c.seq)
+
+	// Register every expectation before any message can match, count the
+	// per-round receive debt, and pull messages that raced ahead of us out
+	// of the future list.
+	recvLeft := make([]int, len(s.Rounds))
+	total := 0
+	c.mu.Lock()
+	c.curSeq = c.seq
+	c.exps = make(map[expKey]*exp)
+	for ri, r := range s.Rounds {
+		recvLeft[ri] = len(r.Recvs)
+		total += len(r.Recvs)
+		for _, x := range r.Recvs {
+			k := expKey{x.Peer, x.Tag}
+			if _, dup := c.exps[k]; dup {
+				c.mu.Unlock()
+				return c.fail(op, fmt.Errorf("coll: %s schedule repeats expectation origin %d tag %d", op, x.Peer, x.Tag))
+			}
+			e := &exp{x: x, round: ri}
+			if !x.Combine && sink != nil {
+				e.sink = sink(x)
+			}
+			c.exps[k] = e
+		}
+	}
+	var replay []event
+	var future []event
+	for _, ev := range c.future {
+		if ev.hdr.seq == c.seq {
+			replay = append(replay, ev)
+		} else {
+			future = append(future, ev)
+		}
+	}
+	c.future = future
+	c.mu.Unlock()
+
+	c.t.need(total - len(replay))
+
+	curRound := -1
+	sendsOut := 0
+	deferred := make([][]deferredFold, len(s.Rounds))
+	handle := func(ev event) error {
+		if ev.err != nil {
+			return ev.err
+		}
+		c.actor.Sync(ev.stamp)
+		if ev.send {
+			sendsOut--
+			return nil
+		}
+		if ev.hdr.seq != c.seq {
+			if ev.hdr.seq > c.seq {
+				// A rank already running a later collective: bank the
+				// message and replace the consumed receive slot.
+				c.mu.Lock()
+				c.future = append(c.future, ev)
+				c.mu.Unlock()
+				c.t.need(1)
+				return nil
+			}
+			return fmt.Errorf("coll: %s: stale message seq %d during %d", op, ev.hdr.seq, c.seq)
+		}
+		k := expKey{int(ev.hdr.origin), int(ev.hdr.tag)}
+		c.mu.Lock()
+		e := c.exps[k]
+		c.mu.Unlock()
+		if e == nil || e.matched {
+			return fmt.Errorf("coll: %s: unexpected message from rank %d tag %d", op, k.origin, k.tag)
+		}
+		if int(ev.hdr.length) != e.x.Len {
+			return &SizeError{Source: k.origin, Got: int(ev.hdr.length), Want: e.x.Len}
+		}
+		e.matched = true
+		recvLeft[e.round]--
+		c.met.msgsIn.Add(1)
+		c.met.bytesIn.Add(int64(e.x.Len))
+		switch {
+		case ev.claimed:
+			c.met.claimed.Add(1)
+		case e.sink != nil:
+			copy(e.sink, ev.data)
+		case got != nil:
+			if e.round > curRound {
+				deferred[e.round] = append(deferred[e.round], deferredFold{x: e.x, data: ev.data})
+				return nil
+			}
+			return got(e.x, ev.data)
+		}
+		return nil
+	}
+
+	fail := func(err error) error {
+		// Drain outstanding sends before poisoning: their payload slices
+		// are still being read by the transport, and the caller may reuse
+		// those buffers the moment we return.
+		for sendsOut > 0 {
+			ev, ok := c.t.events().Pop()
+			if !ok {
+				break
+			}
+			if ev.send {
+				sendsOut--
+			}
+		}
+		return c.fail(op, err)
+	}
+
+	for _, ev := range replay {
+		if err := handle(ev); err != nil {
+			return fail(err)
+		}
+	}
+
+	token := 0
+	for ri, r := range s.Rounds {
+		curRound = ri
+		t0 := c.actor.Now()
+		for _, x := range r.Sends {
+			payload := data(x)
+			h := wireHdr{seq: c.seq, origin: int32(c.rank), tag: uint32(x.Tag), length: uint32(len(payload))}
+			c.met.msgsOut.Add(1)
+			c.met.bytesOut.Add(int64(len(payload)))
+			c.t.isend(token, c.nodes[x.Peer], h, payload, c.actor.Now())
+			token++
+			sendsOut++
+		}
+		for _, d := range deferred[ri] {
+			if err := got(d.x, d.data); err != nil {
+				return fail(err)
+			}
+		}
+		for recvLeft[ri] > 0 || sendsOut > 0 {
+			ev, ok := c.t.events().Pop()
+			if !ok {
+				return fail(fmt.Errorf("coll: %s: transport closed mid-collective", op))
+			}
+			if err := handle(ev); err != nil {
+				return fail(err)
+			}
+		}
+		c.rec.RecordT(c.actor.Name(), t0, c.actor.Now(), fmt.Sprintf("c:%s/r%d", op, ri), traceID, 0)
+	}
+	return nil
+}
+
+// fail poisons the communicator: the ranks no longer agree on the
+// collective sequence, so every later call reports the first failure.
+func (c *Comm) fail(op string, err error) error {
+	err = fmt.Errorf("coll: %s on %s rank %d: %w", op, c.name, c.rank, err)
+	c.met.errors.Add(1)
+	if c.err == nil {
+		c.err = err
+	}
+	return err
+}

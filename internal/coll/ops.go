@@ -1,0 +1,266 @@
+package coll
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Op is a reduction operator over float64 vectors. coll defines its own
+// (rather than borrowing MPI's) because the MPI layer is a client of this
+// package, not the other way around.
+type Op int
+
+const (
+	Sum Op = iota
+	Max
+	Min
+)
+
+func (op Op) fold(acc, in []float64) {
+	switch op {
+	case Sum:
+		for i, v := range in {
+			acc[i] += v
+		}
+	case Max:
+		for i, v := range in {
+			if v > acc[i] {
+				acc[i] = v
+			}
+		}
+	case Min:
+		for i, v := range in {
+			if v < acc[i] {
+				acc[i] = v
+			}
+		}
+	}
+}
+
+func encodeFloats(vs []float64) []byte {
+	b := make([]byte, 8*len(vs))
+	for i, v := range vs {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+	}
+	return b
+}
+
+func decodeFloats(b []byte, out []float64) error {
+	if len(b) != 8*len(out) {
+		return fmt.Errorf("coll: reduction payload is %d bytes, want %d", len(b), 8*len(out))
+	}
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return nil
+}
+
+// Bcast broadcasts root's buf to every rank; all callers pass equal-length
+// buffers.
+func (c *Comm) Bcast(root int, buf []byte) error {
+	if err := c.checkRoot(root); err != nil {
+		return err
+	}
+	s := BcastSched(c.topo, c.rank, root, len(buf), c.alg)
+	f := func(x Xfer) []byte { return buf[x.Off : x.Off+x.Len] }
+	return c.run("bcast", s, f, f, nil)
+}
+
+// Gather collects every rank's in block at root in rank order (block i at
+// offset i*len(in) of out). Every rank must contribute the same block
+// length; out is only read at root and must hold Size()*len(in) bytes.
+// Non-leaf ranks of the gather tree stage their subtree in a scratch
+// buffer, so intermediate blocks never touch caller memory.
+func (c *Comm) Gather(root int, in, out []byte) error {
+	if err := c.checkRoot(root); err != nil {
+		return err
+	}
+	n, blk := c.topo.Size(), len(in)
+	s := GatherSched(c.topo, c.rank, root, blk, c.alg)
+	var base []byte
+	switch {
+	case c.rank == root:
+		if len(out) < n*blk {
+			return c.fail("gather", fmt.Errorf("output holds %d bytes, need %d", len(out), n*blk))
+		}
+		base = out[:n*blk]
+	case s.NumRecvs() > 0: // relay: stage the subtree
+		base = make([]byte, n*blk)
+	}
+	if base != nil {
+		copy(base[c.rank*blk:], in)
+	}
+	f := func(x Xfer) []byte {
+		if base == nil {
+			return in
+		}
+		return base[x.Off : x.Off+x.Len]
+	}
+	return c.run("gather", s, f, f, nil)
+}
+
+// Scatter distributes root's in (Size() blocks of len(out) bytes, rank
+// order) so each rank receives its block in out.
+func (c *Comm) Scatter(root int, in, out []byte) error {
+	if err := c.checkRoot(root); err != nil {
+		return err
+	}
+	n, blk := c.topo.Size(), len(out)
+	s := ScatterSched(c.topo, c.rank, root, blk, c.alg)
+	var base []byte
+	switch {
+	case c.rank == root:
+		if len(in) < n*blk {
+			return c.fail("scatter", fmt.Errorf("input holds %d bytes, need %d", len(in), n*blk))
+		}
+		base = in[:n*blk]
+	case s.NumSends() > 0: // relay: stage the subtree before forwarding
+		base = make([]byte, n*blk)
+	}
+	data := func(x Xfer) []byte { return base[x.Off : x.Off+x.Len] }
+	sink := func(x Xfer) []byte {
+		if base == nil { // leaf: the only receive is the own block
+			return out
+		}
+		return base[x.Off : x.Off+x.Len]
+	}
+	if err := c.run("scatter", s, data, sink, nil); err != nil {
+		return err
+	}
+	if base != nil {
+		copy(out, base[c.rank*blk:c.rank*blk+blk])
+	}
+	return nil
+}
+
+// Allgather concatenates every rank's in block into out (canonical rank
+// order) on every rank; out must hold Size()*len(in) bytes.
+func (c *Comm) Allgather(in, out []byte) error {
+	n, blk := c.topo.Size(), len(in)
+	if len(out) < n*blk {
+		return c.fail("allgather", fmt.Errorf("output holds %d bytes, need %d", len(out), n*blk))
+	}
+	copy(out[c.rank*blk:], in)
+	s := AllgatherSched(c.topo, c.rank, blk, c.alg)
+	f := func(x Xfer) []byte { return out[x.Off : x.Off+x.Len] }
+	return c.run("allgather", s, f, f, nil)
+}
+
+// Alltoall exchanges len(in)/Size()-byte blocks: block d of in travels to
+// rank d, landing as block Rank() of d's out.
+func (c *Comm) Alltoall(in, out []byte) error {
+	n := c.topo.Size()
+	if len(in) != len(out) || len(in)%n != 0 {
+		return c.fail("alltoall", fmt.Errorf("buffers of %d and %d bytes are not %d equal blocks", len(in), len(out), n))
+	}
+	blk := len(in) / n
+	copy(out[c.rank*blk:(c.rank+1)*blk], in[c.rank*blk:])
+	s := AlltoallSched(c.topo, c.rank, blk, c.alg)
+	data := func(x Xfer) []byte { return in[x.Off : x.Off+x.Len] }
+	sink := func(x Xfer) []byte { return out[x.Off : x.Off+x.Len] }
+	return c.run("alltoall", s, data, sink, nil)
+}
+
+// Alltoallv is the sparse exchange driving the MoE workloads: rank sends
+// sendCounts[d] bytes to each rank d (packed in rank order in in) and
+// receives recvCounts[o] bytes from each o (packed in rank order in out).
+// Both count vectors must be globally coherent: sendCounts[d] here equals
+// recvCounts[Rank()] at rank d.
+func (c *Comm) Alltoallv(in []byte, sendCounts []int, out []byte, recvCounts []int) error {
+	n := c.topo.Size()
+	if len(sendCounts) != n || len(recvCounts) != n {
+		return c.fail("alltoallv", fmt.Errorf("count vectors of %d and %d entries, want %d", len(sendCounts), len(recvCounts), n))
+	}
+	soff, stot := prefix(sendCounts)
+	roff, rtot := prefix(recvCounts)
+	if len(in) < stot || len(out) < rtot {
+		return c.fail("alltoallv", fmt.Errorf("buffers hold %d/%d bytes, counts need %d/%d", len(in), len(out), stot, rtot))
+	}
+	copy(out[roff[c.rank]:roff[c.rank]+recvCounts[c.rank]], in[soff[c.rank]:])
+	s := AlltoallvSched(c.topo, c.rank, sendCounts, recvCounts, c.alg)
+	data := func(x Xfer) []byte { return in[x.Off : x.Off+x.Len] }
+	sink := func(x Xfer) []byte { return out[x.Off : x.Off+x.Len] }
+	return c.run("alltoallv", s, data, sink, nil)
+}
+
+func prefix(counts []int) (off []int, total int) {
+	off = make([]int, len(counts))
+	for i, n := range counts {
+		off[i] = total
+		total += n
+	}
+	return off, total
+}
+
+// Reduce folds every rank's in element-wise with op, delivering the
+// result in root's out (nil elsewhere). Send payloads are snapshots, so
+// the accumulator may fold concurrently with in-flight transfers.
+func (c *Comm) Reduce(root int, in, out []float64, op Op) error {
+	if err := c.checkRoot(root); err != nil {
+		return err
+	}
+	acc := append([]float64(nil), in...)
+	s := ReduceSched(c.topo, c.rank, root, 8*len(in), c.alg)
+	err := c.run("reduce", s,
+		func(Xfer) []byte { return encodeFloats(acc) },
+		nil,
+		func(x Xfer, b []byte) error { return c.foldInto(op, acc, x, b) })
+	if err != nil {
+		return err
+	}
+	if c.rank == root {
+		copy(out, acc)
+	}
+	return nil
+}
+
+// Allreduce folds every rank's in element-wise with op, delivering the
+// result in every rank's out.
+func (c *Comm) Allreduce(in, out []float64, op Op) error {
+	acc := append([]float64(nil), in...)
+	s := AllreduceSched(c.topo, c.rank, 8*len(in), c.alg)
+	err := c.run("allreduce", s,
+		func(Xfer) []byte { return encodeFloats(acc) },
+		nil,
+		func(x Xfer, b []byte) error { return c.foldInto(op, acc, x, b) })
+	if err != nil {
+		return err
+	}
+	copy(out, acc)
+	return nil
+}
+
+// foldInto combines (or, for the broadcast phase of a composed
+// allreduce, replaces) the accumulator with an arriving vector.
+func (c *Comm) foldInto(op Op, acc []float64, x Xfer, b []byte) error {
+	vals := make([]float64, len(acc))
+	if err := decodeFloats(b, vals); err != nil {
+		return err
+	}
+	if x.Combine {
+		op.fold(acc, vals)
+	} else {
+		copy(acc, vals)
+	}
+	return nil
+}
+
+// Barrier blocks until every rank has entered it (a one-byte allreduce).
+func (c *Comm) Barrier() error {
+	s := BarrierSched(c.topo, c.rank, c.alg)
+	return c.run("barrier", s,
+		func(Xfer) []byte { return []byte{1} },
+		nil,
+		func(Xfer, []byte) error { return nil })
+}
+
+func (c *Comm) checkRoot(root int) error {
+	if c.err != nil {
+		return c.err
+	}
+	if root < 0 || root >= c.topo.Size() {
+		return fmt.Errorf("coll: root %d outside 0..%d", root, c.topo.Size()-1)
+	}
+	return nil
+}

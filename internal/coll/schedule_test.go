@@ -1,0 +1,213 @@
+package coll_test
+
+import (
+	"fmt"
+	"math/bits"
+	"testing"
+
+	"madeleine2/internal/coll"
+)
+
+// topoCases enumerates rank counts with representative cluster maps.
+func topoCases(t *testing.T) map[string]*coll.Topology {
+	t.Helper()
+	out := map[string]*coll.Topology{}
+	for _, n := range []int{2, 3, 5, 8, 16} {
+		out[fmt.Sprintf("flat-%d", n)] = coll.SingleCluster(n)
+		if n >= 4 {
+			half := n / 2
+			var a, b []int
+			for r := 0; r < n; r++ {
+				if r < half {
+					a = append(a, r)
+				} else {
+					b = append(b, r)
+				}
+			}
+			tp, err := coll.FromClusters(n, [][]int{a, b})
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[fmt.Sprintf("split-%d", n)] = tp
+		}
+	}
+	// Three uneven clusters with a shared gateway rank (5 appears twice).
+	tp, err := coll.FromClusters(9, [][]int{{0, 1, 2}, {3, 4, 5}, {5, 6, 7, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["three-gw"] = tp
+	return out
+}
+
+type edge struct{ from, to, tag int }
+
+// checkPairing asserts the rank set's schedules agree: every send has
+// exactly one matching receive of equal length at its peer, and no rank
+// reuses a (peer, tag) key within one collective (the executor's match
+// key would be ambiguous).
+func checkPairing(t *testing.T, name string, scheds []coll.Schedule) (sends, recvs int) {
+	t.Helper()
+	sent := map[edge]int{}
+	recvd := map[edge]int{}
+	for rank, s := range scheds {
+		for _, round := range s.Rounds {
+			for _, x := range round.Sends {
+				k := edge{rank, x.Peer, x.Tag}
+				if _, dup := sent[k]; dup {
+					t.Fatalf("%s: rank %d sends twice to %d tag %d", name, rank, x.Peer, x.Tag)
+				}
+				sent[k] = x.Len
+				sends++
+			}
+			for _, x := range round.Recvs {
+				k := edge{x.Peer, rank, x.Tag}
+				if _, dup := recvd[k]; dup {
+					t.Fatalf("%s: rank %d expects origin %d tag %d twice", name, rank, x.Peer, x.Tag)
+				}
+				recvd[k] = x.Len
+				recvs++
+			}
+		}
+	}
+	for k, l := range sent {
+		got, ok := recvd[k]
+		if !ok {
+			t.Fatalf("%s: send %d->%d tag %d has no matching recv", name, k.from, k.to, k.tag)
+		}
+		if got != l {
+			t.Fatalf("%s: edge %d->%d tag %d: send %d bytes, recv expects %d", name, k.from, k.to, k.tag, l, got)
+		}
+	}
+	for k := range recvd {
+		if _, ok := sent[k]; !ok {
+			t.Fatalf("%s: recv %d->%d tag %d has no matching send", name, k.from, k.to, k.tag)
+		}
+	}
+	return sends, recvs
+}
+
+func TestSchedulePairing(t *testing.T) {
+	for tname, tp := range topoCases(t) {
+		n := tp.Size()
+		for _, alg := range []coll.Algorithm{coll.Auto, coll.Linear} {
+			for _, root := range []int{0, n - 1, n / 2} {
+				name := fmt.Sprintf("%s/alg%d/root%d", tname, alg, root)
+				build := func(gen func(rank int) coll.Schedule) []coll.Schedule {
+					out := make([]coll.Schedule, n)
+					for r := 0; r < n; r++ {
+						out[r] = gen(r)
+					}
+					return out
+				}
+
+				scheds := build(func(r int) coll.Schedule { return coll.BcastSched(tp, r, root, 1000, alg) })
+				sends, recvs := checkPairing(t, name+"/bcast", scheds)
+				if sends != n-1 || recvs != n-1 {
+					t.Fatalf("%s/bcast: %d sends %d recvs, want %d each", name, sends, recvs, n-1)
+				}
+
+				checkPairing(t, name+"/gather", build(func(r int) coll.Schedule {
+					return coll.GatherSched(tp, r, root, 64, alg)
+				}))
+				checkPairing(t, name+"/scatter", build(func(r int) coll.Schedule {
+					return coll.ScatterSched(tp, r, root, 64, alg)
+				}))
+				checkPairing(t, name+"/reduce", build(func(r int) coll.Schedule {
+					return coll.ReduceSched(tp, r, root, 256, alg)
+				}))
+			}
+			name := fmt.Sprintf("%s/alg%d", tname, alg)
+			build := func(gen func(rank int) coll.Schedule) []coll.Schedule {
+				out := make([]coll.Schedule, n)
+				for r := 0; r < n; r++ {
+					out[r] = gen(r)
+				}
+				return out
+			}
+			checkPairing(t, name+"/allgather", build(func(r int) coll.Schedule {
+				return coll.AllgatherSched(tp, r, 32, alg)
+			}))
+			sends, _ := checkPairing(t, name+"/alltoall", build(func(r int) coll.Schedule {
+				return coll.AlltoallSched(tp, r, 16, alg)
+			}))
+			if want := n * (n - 1); sends != want {
+				t.Fatalf("%s/alltoall: %d sends, want %d", name, sends, want)
+			}
+			checkPairing(t, name+"/allreduce", build(func(r int) coll.Schedule {
+				return coll.AllreduceSched(tp, r, 128, alg)
+			}))
+		}
+	}
+}
+
+// TestBcastBinomialShape pins the broadcast's logarithmic structure on a
+// flat topology: the root forwards in a single overlapped round, sends
+// ceil(log2 n) blocks itself, and every rank receives at most once.
+func TestBcastBinomialShape(t *testing.T) {
+	for _, n := range []int{2, 4, 7, 8, 16} {
+		tp := coll.SingleCluster(n)
+		rootSends := 0
+		rootRounds := 0
+		for _, round := range coll.BcastSched(tp, 0, 0, 1, coll.Auto).Rounds {
+			if len(round.Recvs) > 0 {
+				t.Fatalf("n=%d: root has a receive", n)
+			}
+			rootSends += len(round.Sends)
+			rootRounds++
+		}
+		if want := bits.Len(uint(n - 1)); rootSends != want {
+			t.Fatalf("n=%d: root sends %d blocks, binomial wants %d", n, rootSends, want)
+		}
+		if rootRounds != 1 {
+			t.Fatalf("n=%d: root forwards in %d rounds, want 1 overlapped round", n, rootRounds)
+		}
+		for r := 1; r < n; r++ {
+			if got := coll.BcastSched(tp, r, 0, 1, coll.Auto).NumRecvs(); got != 1 {
+				t.Fatalf("n=%d rank %d: %d receives, want 1", n, r, got)
+			}
+		}
+	}
+}
+
+// TestAlltoallAutoOverlaps pins the tentpole's overlap property: the
+// topology-aware all-to-all posts everything in one round, while Linear
+// serializes n-1 rounds.
+func TestAlltoallAutoOverlaps(t *testing.T) {
+	tp := coll.SingleCluster(8)
+	if got := len(coll.AlltoallSched(tp, 3, 64, coll.Auto).Rounds); got != 1 {
+		t.Fatalf("auto alltoall uses %d rounds, want 1", got)
+	}
+	if got := len(coll.AlltoallSched(tp, 3, 64, coll.Linear).Rounds); got != 7 {
+		t.Fatalf("linear alltoall uses %d rounds, want 7", got)
+	}
+}
+
+// TestCrossClusterEdgeCount pins the topology-awareness invariant the
+// figures measure: an Auto broadcast crosses the cluster boundary once
+// per remote cluster, while Linear crosses once per remote rank.
+func TestCrossClusterEdgeCount(t *testing.T) {
+	tp, err := coll.FromClusters(8, [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cross := func(alg coll.Algorithm) int {
+		edges := 0
+		for r := 0; r < 8; r++ {
+			for _, round := range coll.BcastSched(tp, r, 0, 1, alg).Rounds {
+				for _, x := range round.Sends {
+					if tp.ClusterOf(r) != tp.ClusterOf(x.Peer) {
+						edges++
+					}
+				}
+			}
+		}
+		return edges
+	}
+	if got := cross(coll.Auto); got != 1 {
+		t.Fatalf("auto bcast crosses the boundary %d times, want 1", got)
+	}
+	if got := cross(coll.Linear); got != 4 {
+		t.Fatalf("linear bcast crosses the boundary %d times, want 4", got)
+	}
+}

@@ -1,0 +1,66 @@
+package coll
+
+import (
+	"encoding/binary"
+
+	"madeleine2/internal/simnet"
+	"madeleine2/internal/vclock"
+)
+
+// Every collective message travels as a 16-byte express envelope plus an
+// optional payload block. The envelope is self-describing: seq is the
+// communicator's collective counter (every rank calls collectives in the
+// same order, so both ends agree), origin the sender's communicator rank,
+// tag the schedule's matching tag and length the payload size. The
+// receiver matches (seq, origin, tag) against its registered schedule
+// expectations and validates length — a mismatched block surfaces as a
+// typed error instead of tearing the output layout.
+const wireHdrSize = 16
+
+type wireHdr struct {
+	seq    uint32
+	origin int32
+	tag    uint32
+	length uint32
+}
+
+func (h wireHdr) encode() []byte {
+	b := make([]byte, wireHdrSize)
+	binary.LittleEndian.PutUint32(b[0:], h.seq)
+	binary.LittleEndian.PutUint32(b[4:], uint32(h.origin))
+	binary.LittleEndian.PutUint32(b[8:], h.tag)
+	binary.LittleEndian.PutUint32(b[12:], h.length)
+	return b
+}
+
+func decodeWireHdr(b []byte) wireHdr {
+	return wireHdr{
+		seq:    binary.LittleEndian.Uint32(b[0:]),
+		origin: int32(binary.LittleEndian.Uint32(b[4:])),
+		tag:    binary.LittleEndian.Uint32(b[8:]),
+		length: binary.LittleEndian.Uint32(b[12:]),
+	}
+}
+
+// event is one transport notification consumed by the executor: a send
+// completion (token identifies which), an arrived message, or a failure.
+type event struct {
+	send    bool
+	token   int
+	hdr     wireHdr
+	data    []byte // recv payload when not claimed into a registered sink
+	claimed bool   // payload landed directly in the expectation's sink
+	stamp   vclock.Time
+	err     error
+}
+
+// transport ships wire messages for one rank and feeds events back.
+// isend must preserve per-destination issue order (schedule order is the
+// receiver's matching order when tags repeat across collectives); need
+// tells demand-driven transports to expect n more incoming messages.
+type transport interface {
+	isend(token, node int, h wireHdr, payload []byte, at vclock.Time)
+	need(n int)
+	events() *simnet.Queue[event]
+	close()
+}

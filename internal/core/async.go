@@ -97,6 +97,11 @@ type Request struct {
 func (r *Request) Kind() OpKind { return r.kind }
 func (r *Request) Seq() uint64  { return r.seq }
 
+// Msg reports the conversation the request belongs to, so a completion
+// consumer sharing one CQ across many conversations can route each
+// completion back to its message.
+func (r *Request) Msg() *AsyncMsg { return r.am }
+
 // Done reports whether the operation has completed.
 func (r *Request) Done() bool { return r.st.Load() == reqDone }
 
@@ -271,6 +276,17 @@ func (am *AsyncMsg) Err() error {
 // operations. Completions are delivered to cq, which may be nil when the
 // caller tracks outcomes through the Request handles alone.
 func (c *Channel) SubmitPacking(remote int, cq *CQ) (*AsyncMsg, error) {
+	return c.SubmitPackingFrom(remote, cq, 0)
+}
+
+// SubmitPackingFrom is SubmitPacking with an explicit causality floor: the
+// conversation's virtual clock starts no earlier than `at`. A fresh
+// conversation actor otherwise begins at time zero and syncs only to the
+// lease-grant stamp, so a send that logically depends on earlier work (a
+// collective step forwarding data it just received) would be timed as if
+// it had started at the beginning of the run. Passing the issuing actor's
+// Now() keeps dependent steps causally ordered in virtual time.
+func (c *Channel) SubmitPackingFrom(remote int, cq *CQ, at vclock.Time) (*AsyncMsg, error) {
 	cs, err := c.conn(remote)
 	if err != nil {
 		return nil, err
@@ -278,6 +294,11 @@ func (c *Channel) SubmitPacking(remote int, cq *CQ) (*AsyncMsg, error) {
 	e := c.sess.eng
 	am := &AsyncMsg{ch: c, cq: cq, e: e, sending: true, remote: remote}
 	actor := vclock.NewActor(fmt.Sprintf("async:%s:%d>%d", c.name, c.rank, remote))
+	// Floor before the grant callback can run: the conversation is not
+	// runnable until bind, so the actor has exactly one owner here.
+	if at > 0 {
+		actor.Sync(at)
+	}
 	granted := cs.send.acquireAsync(func(t vclock.Time) {
 		actor.Sync(t)
 		cn := &Connection{cs: cs, actor: actor, sending: true, open: true}
@@ -298,9 +319,18 @@ func (c *Channel) SubmitPacking(remote int, cq *CQ) (*AsyncMsg, error) {
 // arrives, the conversation fails with ErrClosed: its first pending
 // operation completes with ErrClosed and the rest with ErrBadState.
 func (c *Channel) SubmitUnpacking(cq *CQ) *AsyncMsg {
+	return c.SubmitUnpackingFrom(cq, 0)
+}
+
+// SubmitUnpackingFrom is SubmitUnpacking with an explicit causality floor
+// on the conversation's virtual clock (see SubmitPackingFrom).
+func (c *Channel) SubmitUnpackingFrom(cq *CQ, at vclock.Time) *AsyncMsg {
 	e := c.sess.eng
 	am := &AsyncMsg{ch: c, cq: cq, e: e, sending: false, remote: -1}
 	actor := vclock.NewActor(fmt.Sprintf("async:%s:%d<", c.name, c.rank))
+	if at > 0 {
+		actor.Sync(at)
+	}
 	c.mux().register(func(remote int, ok bool) {
 		if !ok {
 			am.fail(ErrClosed)

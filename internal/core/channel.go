@@ -58,6 +58,11 @@ func (c *Channel) Close() { c.incoming.Close() }
 // Rank reports the local process rank.
 func (c *Channel) Rank() int { return c.rank }
 
+// Session returns the session the channel was created on; layers built
+// over a bare channel handle (collectives, MPI) reach the session's
+// metrics registry and observer through it.
+func (c *Channel) Session() *Session { return c.sess }
+
 // Members lists the channel's member ranks.
 func (c *Channel) Members() []int { return append([]int(nil), c.members...) }
 

@@ -3,6 +3,7 @@ package fwd
 import (
 	"fmt"
 	"hash/fnv"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -124,6 +125,7 @@ type VC struct {
 	closeOnce sync.Once
 	daemons   sync.WaitGroup
 	members   []int
+	segs      [][]int // segment index -> member ranks, sorted (topology map)
 }
 
 // New collectively creates the virtual channel and returns the per-rank
@@ -161,6 +163,7 @@ func New(sess *core.Session, spec Spec) (map[int]*VC, error) {
 		for r := range chans {
 			segMembers[i] = append(segMembers[i], r)
 		}
+		sort.Ints(segMembers[i])
 		if spec.Reliable {
 			// The acknowledgment path gets its own real channel per
 			// segment so verdict frames never interleave with (or wait
@@ -201,6 +204,7 @@ func New(sess *core.Session, spec Spec) (map[int]*VC, error) {
 			pipes:    make(map[[2]int]*pipeline),
 			closed:   make(chan struct{}),
 			members:  members,
+			segs:     segMembers,
 		}
 		if spec.Reliable {
 			v.rel = newRelState()
@@ -313,6 +317,18 @@ func (v *VC) Rank() int { return v.rank }
 
 // Members lists every rank reachable on the virtual channel.
 func (v *VC) Members() []int { return append([]int(nil), v.members...) }
+
+// Clusters exposes the virtual channel's topology: one member list per
+// real-channel segment, in segment order. Gateways appear in every
+// segment they bridge. Layers above (topology-aware collective schedules)
+// read this as the world's cluster map.
+func (v *VC) Clusters() [][]int {
+	out := make([][]int, len(v.segs))
+	for i, ms := range v.segs {
+		out[i] = append([]int(nil), ms...)
+	}
+	return out
+}
 
 // MTU reports the route-wide packet size.
 func (v *VC) MTU() int { return v.mtu }

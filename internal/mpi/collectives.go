@@ -4,11 +4,20 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+
+	"madeleine2/internal/coll"
 )
 
-// Collectives over the point-to-point layer: binomial-tree broadcast and
-// reduce, recursive-doubling barrier and allreduce, linear gather/scatter.
-// Tags in the collective range keep them off the application's tag space.
+// Collectives over the point-to-point layer, rebased onto the coll
+// package's topology-aware schedules: binomial broadcast/gather/scatter/
+// reduce trees, ring allgather, a fully overlapped pairwise all-to-all,
+// recursive-doubling allreduce. Every collective runs the same executor
+// (runSchedule): per round it posts the round's sends through the engine
+// (non-blocking, so tree forwarding and ring steps overlap), then takes
+// the round's receives in schedule order — correct because both ends
+// derive the same schedule and matching is non-overtaking per (source,
+// tag). Tags in the collective range keep the traffic off the
+// application's tag space.
 const (
 	tagBcast = -1000 - iota
 	tagBarrier
@@ -17,55 +26,112 @@ const (
 	tagGather
 	tagScatter
 	tagAlltoall
+	tagAllgather
 )
 
-// Bcast broadcasts buf from root to every rank (binomial tree).
+// collTopo is the communicator's view of the fabric for schedule
+// building: one channel, one cluster.
+func (c *Comm) collTopo() *coll.Topology {
+	if c.topo == nil {
+		c.topo = coll.SingleCluster(len(c.nodes))
+	}
+	return c.topo
+}
+
+// runSchedule executes one collective: per round, every send is posted
+// through the engine and every receive is validated (Probe) before its
+// payload touches caller memory. data yields a send's payload at post
+// time (a snapshot — Isend copies it, so reduction accumulators may keep
+// folding). sink yields a receive's destination (nil for scratch), and
+// got observes each received payload (reductions fold here).
+//
+// Failure contract: a receive that cannot complete — peer vanished, or
+// its block length contradicts the schedule — aborts the collective
+// without leaking a single in-flight request. The remaining scheduled
+// sends are posted as zero-length poison (every peer's schedule expects
+// a non-empty block, so poison surfaces at them as the same typed
+// SizeError and the abort cascades), the remaining scheduled receives
+// are drained so no rendezvous sender stays wedged against us, and
+// Waitall reaps every request before the error returns.
+func (c *Comm) runSchedule(tag int, s coll.Schedule, data, sink func(coll.Xfer) []byte, got func(coll.Xfer, []byte) error) error {
+	var reqs []*Request
+	fail := func(ri, xi int, err error) error {
+		for _, r := range s.Rounds[ri+1:] {
+			for _, x := range r.Sends {
+				reqs = append(reqs, c.Isend(x.Peer, tag, nil))
+			}
+		}
+		drain := append([]coll.Xfer(nil), s.Rounds[ri].Recvs[xi:]...)
+		for _, r := range s.Rounds[ri+1:] {
+			drain = append(drain, r.Recvs...)
+		}
+		for _, x := range drain {
+			st, perr := c.Probe(x.Peer, tag)
+			if perr != nil {
+				break // transport gone: nothing left to consume
+			}
+			if _, rerr := c.Recv(x.Peer, tag, make([]byte, st.Count)); rerr != nil {
+				break
+			}
+		}
+		_ = Waitall(reqs...)
+		return err
+	}
+	for ri, round := range s.Rounds {
+		for _, x := range round.Sends {
+			reqs = append(reqs, c.Isend(x.Peer, tag, data(x)))
+		}
+		for xi, x := range round.Recvs {
+			st, err := c.Probe(x.Peer, tag)
+			if err != nil {
+				return fail(ri, xi+1, err)
+			}
+			if st.Count != x.Len {
+				// Consume the liar's block into scratch first: leaving it
+				// queued would poison the next collective's matching.
+				_, _ = c.Recv(x.Peer, tag, make([]byte, st.Count))
+				return fail(ri, xi+1, &coll.SizeError{Source: x.Peer, Got: st.Count, Want: x.Len})
+			}
+			buf := []byte(nil)
+			if sink != nil {
+				buf = sink(x)
+			}
+			if buf == nil {
+				buf = make([]byte, x.Len)
+			}
+			if _, err := c.Recv(x.Peer, tag, buf[:x.Len]); err != nil {
+				return fail(ri, xi+1, err)
+			}
+			if got != nil {
+				if err := got(x, buf[:x.Len]); err != nil {
+					return fail(ri, xi+1, err)
+				}
+			}
+		}
+	}
+	return Waitall(reqs...)
+}
+
+// Bcast broadcasts buf from root to every rank (binomial tree: the root
+// posts all ceil(log2 n) forwards in one overlapped round).
 func (c *Comm) Bcast(root int, buf []byte) error {
-	size, rank := c.Size(), c.Rank()
+	size := c.Size()
 	if root < 0 || root >= size {
 		return fmt.Errorf("mpi: bad bcast root %d", root)
 	}
-	rel := (rank - root + size) % size
-	// Receive from the parent, then forward down the binary tree.
-	if rel != 0 {
-		parent := (rel - 1) / 2
-		if _, err := c.Recv((parent+root)%size, tagBcast, buf); err != nil {
-			return err
-		}
-	}
-	for _, child := range []int{2*rel + 1, 2*rel + 2} {
-		if child < size {
-			if err := c.Send((child+root)%size, tagBcast, buf); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
+	s := coll.BcastSched(c.collTopo(), c.rank, root, len(buf), coll.Auto)
+	f := func(x coll.Xfer) []byte { return buf[x.Off : x.Off+x.Len] }
+	return c.runSchedule(tagBcast, s, f, f, nil)
 }
 
-// Barrier synchronizes all ranks (gather to 0, broadcast back).
+// Barrier synchronizes all ranks (recursive-doubling/tree allreduce of
+// one byte).
 func (c *Comm) Barrier() error {
-	size, rank := c.Size(), c.Rank()
-	one := []byte{1}
-	if rank == 0 {
-		tmp := make([]byte, 1)
-		for i := 1; i < size; i++ {
-			if _, err := c.Recv(AnySource, tagBarrier, tmp); err != nil {
-				return err
-			}
-		}
-		for i := 1; i < size; i++ {
-			if err := c.Send(i, tagBarrier, one); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	if err := c.Send(0, tagBarrier, one); err != nil {
-		return err
-	}
-	_, err := c.Recv(0, tagBarrier, make([]byte, 1))
-	return err
+	s := coll.BarrierSched(c.collTopo(), c.rank, coll.Auto)
+	return c.runSchedule(tagBarrier, s,
+		func(coll.Xfer) []byte { return []byte{1} },
+		nil,
+		func(coll.Xfer, []byte) error { return nil })
 }
 
 // Op is a reduction operator over float64.
@@ -78,127 +144,166 @@ var (
 	Min Op = math.Min
 )
 
+func encodeFloats(vs []float64) []byte {
+	b := make([]byte, 8*len(vs))
+	for i, v := range vs {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+	}
+	return b
+}
+
+// foldInto combines (Combine receives of the reduction trees) or
+// replaces (the broadcast phase of a composed allreduce) the accumulator
+// with an arriving vector.
+func foldInto(op Op, acc []float64, x coll.Xfer, b []byte) error {
+	if len(b) != 8*len(acc) {
+		return fmt.Errorf("mpi: reduction payload is %d bytes, want %d", len(b), 8*len(acc))
+	}
+	for i := range acc {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+		if x.Combine {
+			acc[i] = op(acc[i], v)
+		} else {
+			acc[i] = v
+		}
+	}
+	return nil
+}
+
 // Reduce combines each rank's vector element-wise with op into out on
 // root (binomial tree). out is only written on root and must have
 // len(in) elements there.
 func (c *Comm) Reduce(root int, in, out []float64, op Op) error {
-	size, rank := c.Size(), c.Rank()
+	size := c.Size()
 	if root < 0 || root >= size {
 		return fmt.Errorf("mpi: bad reduce root %d", root)
 	}
-	acc := append([]float64(nil), in...)
-	rel := (rank - root + size) % size
-	for _, child := range []int{2*rel + 1, 2*rel + 2} {
-		if child >= size {
-			continue
-		}
-		buf := make([]byte, 8*len(in))
-		if _, err := c.Recv((child+root)%size, tagReduce, buf); err != nil {
-			return err
-		}
-		for i := range acc {
-			acc[i] = op(acc[i], math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:])))
-		}
-	}
-	if rel != 0 {
-		buf := make([]byte, 8*len(acc))
-		for i, v := range acc {
-			binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
-		}
-		return c.Send((((rel-1)/2)+root)%size, tagReduce, buf)
-	}
-	if len(out) < len(acc) {
+	if c.rank == root && len(out) < len(in) {
 		return fmt.Errorf("mpi: reduce output too small")
+	}
+	acc := append([]float64(nil), in...)
+	s := coll.ReduceSched(c.collTopo(), c.rank, root, 8*len(in), coll.Auto)
+	err := c.runSchedule(tagReduce, s,
+		func(coll.Xfer) []byte { return encodeFloats(acc) },
+		nil,
+		func(x coll.Xfer, b []byte) error { return foldInto(op, acc, x, b) })
+	if err != nil {
+		return err
+	}
+	if c.rank == root {
+		copy(out, acc)
+	}
+	return nil
+}
+
+// Allreduce folds every rank's vector element-wise with op into out on
+// every rank (recursive doubling on power-of-two sizes, reduce+broadcast
+// otherwise).
+func (c *Comm) Allreduce(in, out []float64, op Op) error {
+	if len(out) < len(in) {
+		return fmt.Errorf("mpi: allreduce output too small")
+	}
+	acc := append([]float64(nil), in...)
+	s := coll.AllreduceSched(c.collTopo(), c.rank, 8*len(in), coll.Auto)
+	err := c.runSchedule(tagAllreduce, s,
+		func(coll.Xfer) []byte { return encodeFloats(acc) },
+		nil,
+		func(x coll.Xfer, b []byte) error { return foldInto(op, acc, x, b) })
+	if err != nil {
+		return err
 	}
 	copy(out, acc)
 	return nil
 }
 
-// Allreduce is Reduce to rank 0 followed by a broadcast of the result.
-func (c *Comm) Allreduce(in, out []float64, op Op) error {
-	if len(out) < len(in) {
-		return fmt.Errorf("mpi: allreduce output too small")
-	}
-	if err := c.Reduce(0, in, out, op); err != nil {
-		return err
-	}
-	buf := make([]byte, 8*len(in))
-	if c.Rank() == 0 {
-		for i := range in {
-			binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(out[i]))
-		}
-	}
-	if err := c.Bcast(0, buf); err != nil {
-		return err
-	}
-	for i := range in {
-		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
-	}
-	return nil
-}
-
-// Gather collects each rank's equally sized block to root; out on root
-// must hold Size()*len(in) bytes.
+// Gather collects each rank's equally sized block to root (binomial
+// tree; block i lands at offset i*len(in) of out). Relay ranks stage
+// their subtree in scratch, so intermediate blocks never touch caller
+// memory; a peer whose block length contradicts the schedule surfaces as
+// a *coll.SizeError instead of corrupting out.
 func (c *Comm) Gather(root int, in, out []byte) error {
-	size, rank := c.Size(), c.Rank()
-	if rank != root {
-		return c.Send(root, tagGather, in)
+	size := c.Size()
+	if root < 0 || root >= size {
+		return fmt.Errorf("mpi: bad gather root %d", root)
 	}
-	if len(out) < size*len(in) {
-		return fmt.Errorf("mpi: gather output too small")
-	}
-	copy(out[rank*len(in):], in)
-	for i := 0; i < size; i++ {
-		if i == root {
-			continue
+	blk := len(in)
+	s := coll.GatherSched(c.collTopo(), c.rank, root, blk, coll.Auto)
+	var base []byte
+	switch {
+	case c.rank == root:
+		if len(out) < size*blk {
+			return fmt.Errorf("mpi: gather output too small")
 		}
-		if _, err := c.Recv(i, tagGather, out[i*len(in):(i+1)*len(in)]); err != nil {
-			return err
-		}
+		base = out[:size*blk]
+	case s.NumRecvs() > 0: // relay: stage the subtree
+		base = make([]byte, size*blk)
 	}
-	return nil
+	if base != nil {
+		copy(base[c.rank*blk:], in)
+	}
+	f := func(x coll.Xfer) []byte {
+		if base == nil {
+			return in
+		}
+		return base[x.Off : x.Off+x.Len]
+	}
+	return c.runSchedule(tagGather, s, f, f, nil)
 }
 
-// Scatter distributes equally sized blocks of in (on root) to every rank's
-// out buffer.
+// Scatter distributes equally sized blocks of in (on root) to every
+// rank's out buffer down the binomial tree.
 func (c *Comm) Scatter(root int, in, out []byte) error {
-	size, rank := c.Size(), c.Rank()
-	if rank == root {
-		if len(in) < size*len(out) {
+	size := c.Size()
+	if root < 0 || root >= size {
+		return fmt.Errorf("mpi: bad scatter root %d", root)
+	}
+	blk := len(out)
+	s := coll.ScatterSched(c.collTopo(), c.rank, root, blk, coll.Auto)
+	var base []byte
+	switch {
+	case c.rank == root:
+		if len(in) < size*blk {
 			return fmt.Errorf("mpi: scatter input too small")
 		}
-		for i := 0; i < size; i++ {
-			if i == root {
-				copy(out, in[i*len(out):(i+1)*len(out)])
-				continue
-			}
-			if err := c.Send(i, tagScatter, in[i*len(out):(i+1)*len(out)]); err != nil {
-				return err
-			}
-		}
-		return nil
+		base = in[:size*blk]
+	case s.NumSends() > 0: // relay: stage the subtree before forwarding
+		base = make([]byte, size*blk)
 	}
-	_, err := c.Recv(root, tagScatter, out)
-	return err
+	data := func(x coll.Xfer) []byte { return base[x.Off : x.Off+x.Len] }
+	sink := func(x coll.Xfer) []byte {
+		if base == nil { // leaf: the only receive is the own block
+			return out
+		}
+		return base[x.Off : x.Off+x.Len]
+	}
+	if err := c.runSchedule(tagScatter, s, data, sink, nil); err != nil {
+		return err
+	}
+	if base != nil {
+		copy(out, base[c.rank*blk:c.rank*blk+blk])
+	}
+	return nil
 }
 
 // Allgather collects each rank's equally sized block to every rank
-// (gather to 0 + broadcast).
+// (ring: n-1 overlapped shift rounds, each forwarding the block received
+// in the previous one).
 func (c *Comm) Allgather(in, out []byte) error {
-	if len(out) < c.Size()*len(in) {
+	size, blk := c.Size(), len(in)
+	if len(out) < size*blk {
 		return fmt.Errorf("mpi: allgather output too small")
 	}
-	if err := c.Gather(0, in, out); err != nil {
-		return err
-	}
-	return c.Bcast(0, out[:c.Size()*len(in)])
+	copy(out[c.rank*blk:], in)
+	s := coll.AllgatherSched(c.collTopo(), c.rank, blk, coll.Auto)
+	f := func(x coll.Xfer) []byte { return out[x.Off : x.Off+x.Len] }
+	return c.runSchedule(tagAllgather, s, f, f, nil)
 }
 
 // Alltoall sends the i-th equally sized block of in to rank i and places
 // the block received from rank j at position j of out. The schedule is a
-// ring: at step s every rank Isends to (rank+s) and receives from
-// (rank-s); the non-blocking sends keep rendezvous transports (BIP's long
-// path) from deadlocking the cycle.
+// single fully overlapped round of pairwise exchanges: every send is
+// posted through the engine before the first receive blocks, which keeps
+// rendezvous transports (BIP's long path) from deadlocking the cycle.
 func (c *Comm) Alltoall(in, out []byte) error {
 	size, rank := c.Size(), c.Rank()
 	if len(in) < size || len(in)%size != 0 {
@@ -209,14 +314,8 @@ func (c *Comm) Alltoall(in, out []byte) error {
 		return fmt.Errorf("mpi: alltoall output too small")
 	}
 	copy(out[rank*blk:(rank+1)*blk], in[rank*blk:(rank+1)*blk])
-	var reqs []*Request
-	for s := 1; s < size; s++ {
-		to := (rank + s) % size
-		from := (rank - s + size) % size
-		reqs = append(reqs, c.Isend(to, tagAlltoall, in[to*blk:(to+1)*blk]))
-		if _, err := c.Recv(from, tagAlltoall, out[from*blk:(from+1)*blk]); err != nil {
-			return err
-		}
-	}
-	return Waitall(reqs...)
+	s := coll.AlltoallSched(c.collTopo(), rank, blk, coll.Auto)
+	data := func(x coll.Xfer) []byte { return in[x.Off : x.Off+x.Len] }
+	sink := func(x coll.Xfer) []byte { return out[x.Off : x.Off+x.Len] }
+	return c.runSchedule(tagAlltoall, s, data, sink, nil)
 }

@@ -10,7 +10,9 @@ package mpi
 import (
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 
+	"madeleine2/internal/coll"
 	"madeleine2/internal/core"
 	"madeleine2/internal/model"
 	"madeleine2/internal/vclock"
@@ -69,6 +71,12 @@ type matcher struct {
 
 	sendQ     chan sendOp
 	sendActor *vclock.Actor
+
+	// inflight counts engine operations posted but not yet executed: the
+	// observable behind the collectives' no-leak contract (a collective
+	// that returns — success or error — leaves it at zero once its
+	// requests are reaped).
+	inflight atomic.Int64
 }
 
 // Comm is a communicator over one Madeleine channel. Ranks are dense
@@ -83,6 +91,7 @@ type Comm struct {
 	byNode  map[int]int
 	context int
 	parent  *Comm
+	topo    *coll.Topology // lazy schedule topology (collectives.go)
 }
 
 // NewComm wraps one rank's channel handle into a world communicator
@@ -120,6 +129,10 @@ func (c *Comm) Actor() *vclock.Actor { return c.actor }
 // Parent reports the communicator this one was split from (nil for the
 // world communicator).
 func (c *Comm) Parent() *Comm { return c.parent }
+
+// Inflight reports the number of non-blocking sends posted on this
+// communicator family's engine that have not completed yet.
+func (c *Comm) Inflight() int { return int(c.m.inflight.Load()) }
 
 // RankOfNode translates a node rank into this communicator's rank.
 func (c *Comm) RankOfNode(node int) (int, bool) {

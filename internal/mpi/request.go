@@ -62,6 +62,7 @@ func (c *Comm) engine() chan<- sendOp {
 				m.sendActor.Sync(op.issuedAt)
 				op.req.err = op.comm.SendAs(m.sendActor, op.dst, op.tag, op.data)
 				op.req.stamp = m.sendActor.Now()
+				m.inflight.Add(-1)
 				close(op.req.done)
 			}
 		}()
@@ -74,6 +75,7 @@ func (c *Comm) Isend(dst, tag int, data []byte) *Request {
 	req := &Request{done: make(chan struct{}), c: c}
 	cp := append([]byte(nil), data...)
 	c.actor.Advance(issueCost)
+	c.m.inflight.Add(1)
 	c.engine() <- sendOp{comm: c, dst: dst, tag: tag, data: cp, issuedAt: c.actor.Now(), req: req}
 	return req
 }
